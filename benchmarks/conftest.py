@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, asserts the shape
+claims the paper makes about it, and writes the rendered artifact to
+``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    def _save(name: str, content: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as handle:
+            handle.write(content + "\n")
+        print(f"\n{content}\n[saved to {path}]")
+        return path
+
+    return _save

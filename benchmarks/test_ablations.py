@@ -1,0 +1,161 @@
+"""Bench: ablations of HDX design choices (DESIGN.md Sec. 5).
+
+Not a paper table — these benches validate the *reasons* behind the
+paper's design decisions:
+
+1. conditional manipulation (Eq. 4's dot-product test) vs always-on;
+2. geometric delta growth vs (effectively) constant delta;
+3. the minimum-norm margin delta vs naive projection (delta -> 0);
+4. weighted-sum Cost_HW vs EDP (the paper: products unfairly favour
+   energy-oriented designs);
+5. manipulated generator updates vs plain g_CostHW.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_dance, run_hdx
+from repro.core import ConstraintSet
+from repro.experiments.common import format_table, get_estimator, get_space
+
+SEEDS = (0, 1, 2)
+TARGET = 16.6
+
+
+@pytest.fixture(scope="module")
+def env():
+    return get_space("cifar10"), get_estimator("cifar10")
+
+
+def satisfaction_rate(results):
+    return sum(r.in_constraint for r in results) / len(results)
+
+
+def test_ablation_conditional_vs_always(env, benchmark, save_artifact):
+    """Always-on manipulation still satisfies but costs solution quality."""
+    space, est = env
+    cs = ConstraintSet.latency(TARGET)
+
+    def run_pair():
+        cond = [run_hdx(space, est, cs, seed=s) for s in SEEDS]
+        always = [run_hdx(space, est, cs, seed=s, manipulate_always=True) for s in SEEDS]
+        return cond, always
+
+    cond, always = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        ["conditional (paper)", f"{satisfaction_rate(cond):.2f}",
+         f"{np.mean([r.error_percent for r in cond]):.2f}"],
+        ["always-on", f"{satisfaction_rate(always):.2f}",
+         f"{np.mean([r.error_percent for r in always]):.2f}"],
+    ]
+    save_artifact(
+        "ablation_conditional.txt",
+        format_table(["variant", "in-rate", "avg err (%)"], rows,
+                     title="Ablation 1: conditional vs always-on manipulation"),
+    )
+    assert satisfaction_rate(cond) >= 2 / 3
+    # The conditional rule should not be worse on error.
+    assert np.mean([r.error_percent for r in cond]) <= np.mean(
+        [r.error_percent for r in always]
+    ) + 0.3
+
+
+def test_ablation_delta_growth(env, benchmark, save_artifact):
+    """Geometric growth outperforms an (effectively) constant delta."""
+    space, est = env
+    cs = ConstraintSet.latency(TARGET)
+
+    def run_pair():
+        growing = [run_hdx(space, est, cs, seed=s, p=1e-2) for s in SEEDS]
+        constant = [run_hdx(space, est, cs, seed=s, p=1e-9) for s in SEEDS]
+        return growing, constant
+
+    growing, constant = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        ["geometric (paper)", f"{satisfaction_rate(growing):.2f}"],
+        ["constant delta", f"{satisfaction_rate(constant):.2f}"],
+    ]
+    save_artifact(
+        "ablation_delta.txt",
+        format_table(["variant", "in-rate"], rows, title="Ablation 2: delta schedule"),
+    )
+    assert satisfaction_rate(growing) >= satisfaction_rate(constant)
+
+
+def test_ablation_margin_vs_projection(env, benchmark, save_artifact):
+    """delta -> 0 degenerates to projection: never actively reduces the
+    violation, so satisfaction cannot beat the margin variant."""
+    space, est = env
+    cs = ConstraintSet.latency(TARGET)
+
+    def run_pair():
+        margin = [run_hdx(space, est, cs, seed=s) for s in SEEDS]
+        projection = [run_hdx(space, est, cs, seed=s, delta0=1e-12, p=1e-9) for s in SEEDS]
+        return margin, projection
+
+    margin, projection = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        ["min-norm margin (paper)", f"{satisfaction_rate(margin):.2f}",
+         f"{np.mean([r.metrics.latency_ms for r in margin]):.1f}"],
+        ["naive projection", f"{satisfaction_rate(projection):.2f}",
+         f"{np.mean([r.metrics.latency_ms for r in projection]):.1f}"],
+    ]
+    save_artifact(
+        "ablation_projection.txt",
+        format_table(["variant", "in-rate", "avg lat (ms)"], rows,
+                     title="Ablation 3: margin vs naive projection"),
+    )
+    assert satisfaction_rate(margin) >= satisfaction_rate(projection)
+
+
+def test_ablation_cost_function_shape(env, benchmark, save_artifact):
+    """EDP product cost skews designs toward energy compared to the
+    balanced weighted sum (paper Sec. 4.4)."""
+    space, est = env
+
+    def run_pair():
+        weighted = [run_dance(space, est, lambda_cost=0.003, seed=s) for s in SEEDS]
+        edp = [run_dance(space, est, lambda_cost=0.003, seed=s, use_edp_cost=True) for s in SEEDS]
+        return weighted, edp
+
+    weighted, edp = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    w_energy = np.mean([r.metrics.energy_mj for r in weighted])
+    e_energy = np.mean([r.metrics.energy_mj for r in edp])
+    w_ratio = np.mean(
+        [r.metrics.energy_mj / r.metrics.latency_ms for r in weighted]
+    )
+    e_ratio = np.mean([r.metrics.energy_mj / r.metrics.latency_ms for r in edp])
+    rows = [
+        ["weighted sum (paper)", f"{w_energy:.2f}", f"{w_ratio:.3f}"],
+        ["EDP product", f"{e_energy:.2f}", f"{e_ratio:.3f}"],
+    ]
+    save_artifact(
+        "ablation_cost_shape.txt",
+        format_table(["cost fn", "avg energy (mJ)", "energy/latency"], rows,
+                     title="Ablation 4: cost-function shape"),
+    )
+    # EDP pushes the energy-vs-latency balance toward energy.
+    assert e_ratio <= w_ratio * 1.05
+
+
+def test_ablation_generator_manipulation(env, benchmark, save_artifact):
+    """Manipulated generator updates help the accelerator side comply."""
+    space, est = env
+    cs = ConstraintSet.latency(TARGET)
+
+    def run_pair():
+        with_manip = [run_hdx(space, est, cs, seed=s) for s in SEEDS]
+        without = [run_hdx(space, est, cs, seed=s, manipulate_generator=False) for s in SEEDS]
+        return with_manip, without
+
+    with_manip, without = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        ["manipulated v (paper)", f"{satisfaction_rate(with_manip):.2f}"],
+        ["plain g_CostHW", f"{satisfaction_rate(without):.2f}"],
+    ]
+    save_artifact(
+        "ablation_generator.txt",
+        format_table(["variant", "in-rate"], rows,
+                     title="Ablation 5: generator update rule"),
+    )
+    assert satisfaction_rate(with_manip) >= satisfaction_rate(without) - 0.34

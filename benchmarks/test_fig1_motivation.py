@@ -1,0 +1,42 @@
+"""Bench: Figure 1 — the motivational lambda_cost sweep.
+
+Paper claim: latency/energy respond to lambda_cost with *some* trend
+but with variance and non-monotonicity large enough that tuning lambda
+cannot reliably target a latency bound.
+"""
+
+import numpy as np
+
+from repro.experiments import render_fig1, run_fig1
+
+
+def test_fig1_lambda_sweep(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: run_fig1(seeds_per_lambda=3), rounds=1, iterations=1
+    )
+    save_artifact("fig1_motivation.txt", render_fig1(rows))
+
+    lats = {}
+    for row in rows:
+        lats.setdefault(row.lambda_cost, []).append(row.latency_ms)
+    lambdas = sorted(lats)
+
+    # Overall trend: larger lambda -> lower latency (correlation < 0).
+    xs = [lam for lam in lambdas for _ in lats[lam]]
+    ys = [lat for lam in lambdas for lat in lats[lam]]
+    corr = np.corrcoef(xs, ys)[0, 1]
+    assert corr < -0.5, f"expected a downward latency trend, corr={corr:.2f}"
+
+    # But per-setting variance exists: at least some settings vary by
+    # a visible amount between seeds (the paper's inconsistency).
+    spreads = [max(v) - min(v) for v in lats.values()]
+    assert max(spreads) > 1.0, "no per-search variance — motivation would vanish"
+
+    # And the mapping lambda -> latency is not a clean function: the
+    # spread bands of adjacent lambdas overlap somewhere.
+    overlapping = sum(
+        1
+        for a, b in zip(lambdas[:-1], lambdas[1:])
+        if max(lats[b]) > min(lats[a])
+    )
+    assert overlapping >= 1

@@ -1,0 +1,44 @@
+"""Bench: Figure 4 — sensitivity to the pulling magnitude ``p``.
+
+Paper claims: for p in {1e-2, 7e-3, 4e-3} the trajectories share the
+same phases (loss-first, then the delta-driven pull, then loss again)
+and all final solutions satisfy the 33.3 ms constraint — HDX is
+insensitive to its only hyper-parameter.
+"""
+
+import numpy as np
+
+from repro.experiments import render_fig4, run_fig4
+from repro.experiments.fig4 import P_VALUES, TARGET_MS
+
+
+def test_fig4_p_sensitivity(benchmark, save_artifact):
+    curves = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    save_artifact("fig4_sensitivity.txt", render_fig4(curves))
+
+    assert {c.p for c in curves} == set(P_VALUES)
+
+    # Every p satisfies the constraint.
+    for curve in curves:
+        assert curve.final_in_constraint, (
+            f"p={curve.p}: final latency {curve.final_latency_ms:.1f} ms"
+        )
+
+    # Final latencies agree across p (insensitivity): within 20%.
+    finals = [c.final_latency_ms for c in curves]
+    assert max(finals) - min(finals) <= 0.2 * TARGET_MS
+
+    # The delta schedule actually grew during the violated phase.
+    for curve in curves:
+        assert max(curve.delta) > curve.delta[0]
+
+    # Latency ends no higher than its running peak (the pull happened).
+    for curve in curves:
+        peak = max(curve.latency_ms)
+        assert curve.latency_ms[-1] <= peak + 1e-9
+
+    # The global loss improves overall despite the constraint work.
+    for curve in curves:
+        head = np.mean(curve.global_loss[:10])
+        tail = np.mean(curve.global_loss[-10:])
+        assert tail < head

@@ -1,0 +1,32 @@
+"""Bench: Figure 5 — analysis of searched solutions.
+
+Paper claims: the 60 FPS design uses smaller kernels and a
+latency-lean accelerator; the 30 FPS design can afford larger kernels
+and an energy-lean (row-stationary, smaller-array or bigger-RF)
+accelerator.
+"""
+
+from repro.experiments import render_fig5, run_fig5
+
+
+def test_fig5_solution_analysis(benchmark, save_artifact):
+    solutions = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    save_artifact("fig5_solutions.txt", render_fig5(solutions))
+
+    by_fps = {s.fps: s for s in solutions}
+    tight, loose = by_fps[60], by_fps[30]
+
+    # Both satisfy their constraints.
+    assert tight.result.in_constraint
+    assert loose.result.in_constraint
+
+    # The tight design is the faster one...
+    assert tight.result.metrics.latency_ms < loose.result.metrics.latency_ms
+    # ...and pays for it in accuracy.
+    assert tight.result.error_percent >= loose.result.error_percent - 0.15
+
+    # Network side: the tight design cannot afford more capacity.
+    assert tight.result.arch.total_macs() <= loose.result.arch.total_macs()
+
+    # The loose design optimizes energy better (energy-lean direction).
+    assert loose.result.metrics.energy_mj >= tight.result.metrics.energy_mj

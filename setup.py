@@ -1,0 +1,5 @@
+"""Setup shim enabling legacy editable installs (no ``wheel`` offline)."""
+
+from setuptools import setup
+
+setup()

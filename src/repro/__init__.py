@@ -1,0 +1,12 @@
+"""HDX reproduction: hard-constrained differentiable co-exploration.
+
+Reproduces "Enabling Hard Constraints in Differentiable Neural Network
+and Accelerator Co-Exploration" (Hong et al., DAC 2022) from scratch in
+NumPy: autodiff engine, NN library, NAS supernet, Eyeriss-style
+analytical cost model, learned estimator/generator, the HDX gradient
+manipulation, baselines, and the full experiment/benchmark harness.
+
+See README.md for usage and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,48 @@
+"""Eyeriss-style accelerator model — Timeloop/Accelergy substitute.
+
+The design space follows the paper's Section 4.4: a 2-D PE array from
+12x8 to 20x24, a per-PE register file from 16 B to 256 B, and a
+dataflow chosen from weight-stationary (WS, TPU-like),
+output-stationary (OS, ShiDianNao-like), and row-stationary (RS,
+Eyeriss-like).
+
+``evaluate_network`` is the ground-truth oracle used to pre-train the
+learned estimator and to report final metrics, exactly as the paper
+uses Timeloop + Accelergy.
+"""
+
+from repro.accelerator.config import (
+    DATAFLOWS,
+    AcceleratorConfig,
+    Dataflow,
+    DesignSpace,
+)
+from repro.accelerator.energy import EnergyTable, default_energy_table
+from repro.accelerator.area import area_mm2
+from repro.accelerator.timeloop import LayerMapping, map_layer
+from repro.accelerator.cost import (
+    COST_WEIGHTS,
+    HardwareMetrics,
+    cost_hw,
+    evaluate_layer,
+    evaluate_network,
+    exhaustive_search,
+)
+
+__all__ = [
+    "Dataflow",
+    "DATAFLOWS",
+    "AcceleratorConfig",
+    "DesignSpace",
+    "EnergyTable",
+    "default_energy_table",
+    "area_mm2",
+    "LayerMapping",
+    "map_layer",
+    "HardwareMetrics",
+    "cost_hw",
+    "COST_WEIGHTS",
+    "evaluate_layer",
+    "evaluate_network",
+    "exhaustive_search",
+]

@@ -1,0 +1,28 @@
+"""Chip-area model.
+
+Area decomposes into PE array (MAC datapath + register file per PE),
+the shared global buffer, and NoC wiring proportional to the array
+perimeter.  Constants are calibrated so the design-space extremes span
+roughly 1.7-2.8 mm^2, matching the range reported in the paper's
+Table 2 (1.86-2.53 mm^2).
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.config import AcceleratorConfig
+
+#: mm^2 for one MAC datapath + control.
+PE_BASE_MM2 = 0.0015
+#: mm^2 per byte of register file.
+RF_MM2_PER_BYTE = 4.0e-6
+#: mm^2 for the fixed 108 KB global buffer.
+GLOBAL_BUFFER_MM2 = 1.5
+#: mm^2 of NoC wiring per PE-array row+column.
+NOC_MM2_PER_LANE = 0.002
+
+
+def area_mm2(config: AcceleratorConfig) -> float:
+    """Total silicon area of a configuration in mm^2."""
+    pe_area = config.num_pes * (PE_BASE_MM2 + RF_MM2_PER_BYTE * config.rf_bytes)
+    noc_area = NOC_MM2_PER_LANE * (config.pe_rows + config.pe_cols)
+    return pe_area + GLOBAL_BUFFER_MM2 + noc_area

@@ -1,0 +1,261 @@
+"""Vectorized design-space evaluation.
+
+``evaluate_network`` maps one network onto one accelerator; the
+NAS->HW baseline and design-space studies need the same network on all
+2295 configurations.  Doing that with the scalar path costs ~2 s per
+network; this module evaluates the whole space with NumPy array math
+in a few tens of milliseconds.
+
+The implementation mirrors :mod:`repro.accelerator.timeloop` exactly —
+``test_batch_matches_scalar`` enforces bit-level agreement — so any
+change to the analytical model must be applied to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.area import (
+    GLOBAL_BUFFER_MM2,
+    NOC_MM2_PER_LANE,
+    PE_BASE_MM2,
+    RF_MM2_PER_BYTE,
+)
+from repro.accelerator.config import (
+    DATAFLOWS,
+    AcceleratorConfig,
+    Dataflow,
+    GLOBAL_BUFFER_BYTES,
+    PE_COLS_RANGE,
+    PE_ROWS_RANGE,
+    RF_BYTES_OPTIONS,
+    WORD_BYTES,
+)
+from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES
+from repro.accelerator.energy import EnergyTable, default_energy_table
+from repro.accelerator.timeloop import (
+    BUFFER_WORDS_PER_CYCLE,
+    CLOCK_MHZ,
+    DATAFLOW_ENERGY_FACTOR,
+    DRAM_WORDS_PER_CYCLE,
+    WS_DEPTHWISE_PENALTY,
+)
+from repro.arch.network import ConvLayerDesc, NetworkArch
+
+
+@dataclass
+class SpaceEvaluation:
+    """Metrics of one network across the full accelerator space."""
+
+    configs: List[AcceleratorConfig]
+    latency_ms: np.ndarray
+    energy_mj: np.ndarray
+    area_mm2: np.ndarray
+
+    def cost_hw(self, weights: Optional[dict] = None) -> np.ndarray:
+        w = weights or COST_WEIGHTS
+        return (
+            w["latency"] * self.latency_ms / REFERENCE_SCALES["latency_ms"]
+            + w["energy"] * self.energy_mj / REFERENCE_SCALES["energy_mj"]
+            + w["area"] * self.area_mm2 / REFERENCE_SCALES["area_mm2"]
+        )
+
+    def best(
+        self,
+        objective: Optional[np.ndarray] = None,
+        constraints: Optional[dict] = None,
+    ) -> Tuple[AcceleratorConfig, int]:
+        """Index of the best config under optional metric bounds."""
+        score = self.cost_hw() if objective is None else objective
+        feasible = np.ones(len(self.configs), dtype=bool)
+        if constraints:
+            metric_arrays = {
+                "latency": self.latency_ms,
+                "energy": self.energy_mj,
+                "area": self.area_mm2,
+            }
+            for metric, bound in constraints.items():
+                feasible &= metric_arrays[metric] <= bound
+        if feasible.any():
+            masked = np.where(feasible, score, np.inf)
+        else:
+            masked = score
+        index = int(np.argmin(masked))
+        return self.configs[index], index
+
+
+def _grid() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[AcceleratorConfig]]:
+    """Flattened (rows, cols, rf, dataflow-index) arrays for the space."""
+    rows, cols, rfs, dfs, configs = [], [], [], [], []
+    for r in PE_ROWS_RANGE:
+        for c in PE_COLS_RANGE:
+            for rf in RF_BYTES_OPTIONS:
+                for di, df in enumerate(DATAFLOWS):
+                    rows.append(r)
+                    cols.append(c)
+                    rfs.append(rf)
+                    dfs.append(di)
+                    configs.append(AcceleratorConfig(r, c, rf, df))
+    return (
+        np.array(rows, dtype=float),
+        np.array(cols, dtype=float),
+        np.array(rfs, dtype=float),
+        np.array(dfs),
+        configs,
+    )
+
+
+_GRID_CACHE = None
+
+
+def _grid_cached():
+    global _GRID_CACHE
+    if _GRID_CACHE is None:
+        _GRID_CACHE = _grid()
+    return _GRID_CACHE
+
+
+def _eff(n: float, lanes: np.ndarray) -> np.ndarray:
+    return n / (np.ceil(n / lanes) * lanes)
+
+
+def _pe_set_eff(r: int, lanes: np.ndarray) -> np.ndarray:
+    small = _eff(r, lanes)  # r > lanes case
+    packed = np.floor(lanes / r) * r / lanes
+    return np.where(r > lanes, small, packed)
+
+
+def _layer_arrays(
+    layer: ConvLayerDesc,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rf_bytes: np.ndarray,
+    df_index: np.ndarray,
+    table: EnergyTable,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(latency_cycles, energy_pj) arrays across the config grid."""
+    r = layer.kernel
+    rs = float(r * r)
+    macs = float(layer.macs)
+    oh_ow = float(layer.out_size * layer.out_size)
+    channels_per_group = layer.in_channels // layer.groups
+    depthwise = layer.groups > 1
+    rf_words = rf_bytes / WORD_BYTES
+    num_pes = rows * cols
+
+    is_ws = df_index == 0
+    is_os = df_index == 1
+    is_rs = df_index == 2
+
+    # ------------------------------------------------------------------
+    # Utilization (mirrors timeloop._utilization)
+    # ------------------------------------------------------------------
+    if depthwise:
+        ws_util = _eff(layer.out_channels, cols) * WS_DEPTHWISE_PENALTY
+    else:
+        ws_util = _eff(layer.in_channels, rows) * _eff(layer.out_channels, cols)
+    os_util = _eff(layer.out_size, rows) * _eff(layer.out_size, cols)
+    set_eff = _pe_set_eff(r, rows)
+    col_work = layer.out_size * min(layer.out_channels, 4)
+    rs_util = set_eff * np.minimum(1.0, _eff(col_work, cols) * 2.0) * 0.85
+    util = np.where(is_ws, ws_util, np.where(is_os, os_util, rs_util))
+    util = np.maximum(util, 1e-3)
+
+    # ------------------------------------------------------------------
+    # Reuse factors (mirrors timeloop._reuse_factors)
+    # ------------------------------------------------------------------
+    # WS
+    ws_capacity = np.minimum(1.0, rf_words / rs)
+    ws_pairs = np.minimum(4.0, np.maximum(1.0, np.floor(rf_words / rs)))
+    ws_reuse_w = np.maximum(1.0, oh_ow * ws_capacity)
+    if depthwise:
+        ws_reuse_i = np.minimum(4.0, rs) * ws_pairs
+        ws_reuse_o = np.ones_like(rows)
+    else:
+        spatial_i = np.minimum(float(layer.out_channels), cols)
+        ws_reuse_i = np.minimum(4.0, rs) * spatial_i * ws_pairs
+        ws_reuse_o = np.minimum(float(channels_per_group), rows)
+    # OS
+    os_capacity = np.maximum(0.25, np.minimum(1.0, rf_words / 8.0))
+    os_reuse_o = np.maximum(1.0, channels_per_group * rs * os_capacity)
+    os_reuse_w = np.maximum(1.0, num_pes * 0.5)
+    os_reuse_i = np.full_like(rows, min(rs, 9.0) * 2.0)
+    # RS
+    need = 2.0 * rs + r
+    rs_capacity = np.maximum(0.25, np.minimum(1.0, rf_words / need))
+    rs_resident = np.minimum(4.0, np.maximum(1.0, np.floor(rf_words / need)))
+    rs_reuse_w = np.maximum(1.0, 2.0 * layer.out_size * rs_capacity)
+    rs_reuse_i = np.maximum(1.0, 2.0 * rs * rs_capacity) * r * rs_resident
+    fold = min(channels_per_group, 4)
+    rs_reuse_o = np.maximum(1.0, rs * fold * rs_capacity)
+
+    reuse_w = np.where(is_ws, ws_reuse_w, np.where(is_os, os_reuse_w, rs_reuse_w))
+    reuse_i = np.where(is_ws, ws_reuse_i, np.where(is_os, os_reuse_i, rs_reuse_i))
+    reuse_o = np.where(is_ws, ws_reuse_o, np.where(is_os, os_reuse_o, rs_reuse_o))
+
+    # ------------------------------------------------------------------
+    # Traffic, latency, energy (mirrors timeloop.map_layer)
+    # ------------------------------------------------------------------
+    volume_w = float(layer.weight_count)
+    volume_i = float(layer.input_count)
+    volume_o = float(layer.output_count)
+
+    compute_cycles = macs / (num_pes * util)
+    buffer_w = np.maximum(macs / reuse_w, volume_w)
+    buffer_i = np.maximum(macs / reuse_i, volume_i)
+    buffer_o = np.maximum(2.0 * macs / reuse_o, volume_o)
+    buffer_accesses = buffer_w + buffer_i + buffer_o
+
+    rf_accesses = 3.0 * macs
+    working_set_bytes = (volume_w + volume_i + volume_o) * WORD_BYTES
+    refetch = max(1.0, np.sqrt(working_set_bytes / GLOBAL_BUFFER_BYTES))
+    dram_accesses = (volume_w + volume_i) * refetch + volume_o
+
+    avg_hops = (rows + cols) / 8.0
+    noc_hops = buffer_accesses * avg_hops * 0.25
+
+    latency_cycles = np.maximum(
+        compute_cycles,
+        np.maximum(
+            buffer_accesses / BUFFER_WORDS_PER_CYCLE,
+            dram_accesses / DRAM_WORDS_PER_CYCLE,
+        ),
+    )
+
+    rf_pj = table.rf_base_pj + table.rf_per_log2_byte_pj * np.log2(rf_bytes)
+    df_factor = np.array([DATAFLOW_ENERGY_FACTOR[df] for df in DATAFLOWS])[df_index]
+    energy_pj = (
+        macs * table.mac_pj
+        + rf_accesses * rf_pj
+        + buffer_accesses * table.buffer_pj
+        + dram_accesses * table.dram_pj
+        + noc_hops * table.noc_hop_pj
+    ) * df_factor
+    return latency_cycles, energy_pj
+
+
+def evaluate_network_space(
+    arch: NetworkArch, energy_table: Optional[EnergyTable] = None
+) -> SpaceEvaluation:
+    """Evaluate ``arch`` on every accelerator configuration at once."""
+    table = energy_table or default_energy_table()
+    rows, cols, rf_bytes, df_index, configs = _grid_cached()
+    total_cycles = np.zeros_like(rows)
+    total_pj = np.zeros_like(rows)
+    for layer in arch.conv_layers():
+        cycles, pj = _layer_arrays(layer, rows, cols, rf_bytes, df_index, table)
+        total_cycles += cycles
+        total_pj += pj
+    latency_ms = total_cycles / (CLOCK_MHZ * 1e3)
+    energy_mj = total_pj * 1e-9
+    pe_area = rows * cols * (PE_BASE_MM2 + RF_MM2_PER_BYTE * rf_bytes)
+    area = pe_area + GLOBAL_BUFFER_MM2 + NOC_MM2_PER_LANE * (rows + cols)
+    return SpaceEvaluation(
+        configs=configs,
+        latency_ms=latency_ms,
+        energy_mj=energy_mj,
+        area_mm2=area,
+    )

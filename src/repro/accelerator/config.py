@@ -1,0 +1,130 @@
+"""Accelerator configuration and design space.
+
+A configuration is (PE rows, PE cols, RF bytes per PE, dataflow).  The
+space matches the paper: rows 12..20, cols 8..24, RF 16..256 B in
+powers of two, dataflow in {WS, OS, RS} — 9 x 17 x 5 x 3 = 2295
+designs, which together with ~1e14 networks gives the ~1e17 joint
+space the paper quotes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+
+class Dataflow(enum.Enum):
+    """Spatial dataflow of the PE array."""
+
+    WS = "weight-stationary"  # TPU-like: channels spatial, weights pinned
+    OS = "output-stationary"  # ShiDianNao-like: output pixels spatial
+    RS = "row-stationary"  # Eyeriss-like: filter/output rows spatial
+
+
+DATAFLOWS: Sequence[Dataflow] = (Dataflow.WS, Dataflow.OS, Dataflow.RS)
+
+PE_ROWS_RANGE = tuple(range(12, 21))  # 12..20
+PE_COLS_RANGE = tuple(range(8, 25))  # 8..24
+RF_BYTES_OPTIONS = (16, 32, 64, 128, 256)
+
+#: Bytes per operand word (16-bit fixed point, as in Eyeriss).
+WORD_BYTES = 2
+
+#: Global (on-chip) buffer capacity in bytes, fixed as in Eyeriss.
+GLOBAL_BUFFER_BYTES = 108 * 1024
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point in the accelerator design space."""
+
+    pe_rows: int
+    pe_cols: int
+    rf_bytes: int
+    dataflow: Dataflow
+
+    def __post_init__(self) -> None:
+        if not (PE_ROWS_RANGE[0] <= self.pe_rows <= PE_ROWS_RANGE[-1]):
+            raise ValueError(f"pe_rows {self.pe_rows} outside {PE_ROWS_RANGE[0]}..{PE_ROWS_RANGE[-1]}")
+        if not (PE_COLS_RANGE[0] <= self.pe_cols <= PE_COLS_RANGE[-1]):
+            raise ValueError(f"pe_cols {self.pe_cols} outside {PE_COLS_RANGE[0]}..{PE_COLS_RANGE[-1]}")
+        if self.rf_bytes not in RF_BYTES_OPTIONS:
+            raise ValueError(f"rf_bytes {self.rf_bytes} not in {RF_BYTES_OPTIONS}")
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def rf_words(self) -> int:
+        return self.rf_bytes // WORD_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pe_rows}x{self.pe_cols} PEs, {self.rf_bytes}B RF, "
+            f"{self.dataflow.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Relaxed (continuous) encoding used by the hardware generator
+    # ------------------------------------------------------------------
+    def to_vector(self) -> np.ndarray:
+        """Encode as a 6-dim vector in [0, 1] (rows, cols, log-RF, df one-hot)."""
+        rows01 = (self.pe_rows - PE_ROWS_RANGE[0]) / (PE_ROWS_RANGE[-1] - PE_ROWS_RANGE[0])
+        cols01 = (self.pe_cols - PE_COLS_RANGE[0]) / (PE_COLS_RANGE[-1] - PE_COLS_RANGE[0])
+        rf_steps = len(RF_BYTES_OPTIONS) - 1
+        rf01 = RF_BYTES_OPTIONS.index(self.rf_bytes) / rf_steps
+        onehot = np.zeros(len(DATAFLOWS))
+        onehot[DATAFLOWS.index(self.dataflow)] = 1.0
+        return np.concatenate([[rows01, cols01, rf01], onehot])
+
+    @staticmethod
+    def from_vector(vec: np.ndarray) -> "AcceleratorConfig":
+        """Decode (snap) a relaxed vector back to the nearest design."""
+        vec = np.asarray(vec, dtype=float)
+        if vec.shape != (6,):
+            raise ValueError(f"expected 6-dim vector, got shape {vec.shape}")
+        rows01, cols01, rf01 = np.clip(vec[:3], 0.0, 1.0)
+        rows = int(round(PE_ROWS_RANGE[0] + rows01 * (PE_ROWS_RANGE[-1] - PE_ROWS_RANGE[0])))
+        cols = int(round(PE_COLS_RANGE[0] + cols01 * (PE_COLS_RANGE[-1] - PE_COLS_RANGE[0])))
+        rf_idx = int(round(rf01 * (len(RF_BYTES_OPTIONS) - 1)))
+        dataflow = DATAFLOWS[int(np.argmax(vec[3:]))]
+        return AcceleratorConfig(rows, cols, RF_BYTES_OPTIONS[rf_idx], dataflow)
+
+    @staticmethod
+    def vector_dim() -> int:
+        return 3 + len(DATAFLOWS)
+
+
+class DesignSpace:
+    """Enumeration and sampling over all accelerator configurations."""
+
+    def __init__(self) -> None:
+        self.rows = PE_ROWS_RANGE
+        self.cols = PE_COLS_RANGE
+        self.rf_options = RF_BYTES_OPTIONS
+        self.dataflows = DATAFLOWS
+
+    def __len__(self) -> int:
+        return len(self.rows) * len(self.cols) * len(self.rf_options) * len(self.dataflows)
+
+    def __iter__(self) -> Iterator[AcceleratorConfig]:
+        for rows, cols, rf, df in itertools.product(
+            self.rows, self.cols, self.rf_options, self.dataflows
+        ):
+            yield AcceleratorConfig(rows, cols, rf, df)
+
+    def sample(self, rng: np.random.Generator) -> AcceleratorConfig:
+        return AcceleratorConfig(
+            pe_rows=int(rng.choice(self.rows)),
+            pe_cols=int(rng.choice(self.cols)),
+            rf_bytes=int(rng.choice(self.rf_options)),
+            dataflow=self.dataflows[int(rng.integers(len(self.dataflows)))],
+        )
+
+    def sample_many(self, n: int, rng: np.random.Generator) -> List[AcceleratorConfig]:
+        return [self.sample(rng) for _ in range(n)]

@@ -1,0 +1,165 @@
+"""Network-level hardware metrics and the paper's cost function.
+
+``evaluate_network`` plays the role of "direct evaluation on the
+designed hardware from Timeloop and Accelergy" (paper Sec. 5.1): it is
+the ground truth for estimator pre-training and for all reported
+numbers.
+
+``cost_hw`` implements Eq. 10, ``Cost_HW = C_E E + C_L L + C_A A``
+with the paper's constants C_E=2.9, C_L=6.2, C_A=1.0.  The paper
+chooses the constants so "the difference scale of each metric [is]
+approximately the same"; reverse-engineering Table 2 shows the metrics
+are normalized by reference scales (~49 ms, ~10 mJ, ~1 mm^2) before
+weighting, which we adopt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.accelerator.area import area_mm2
+from repro.accelerator.config import AcceleratorConfig, DesignSpace
+from repro.accelerator.energy import EnergyTable, default_energy_table
+from repro.accelerator.timeloop import CLOCK_MHZ, DATAFLOW_ENERGY_FACTOR, map_layer
+from repro.arch.network import ConvLayerDesc, NetworkArch
+
+#: Eq. 10 weights from the paper (Sec. 5.3).
+COST_WEIGHTS = {"energy": 2.9, "latency": 6.2, "area": 1.0}
+
+#: Reference scales making the three metrics comparable (see module doc).
+REFERENCE_SCALES = {"latency_ms": 49.2, "energy_mj": 10.2, "area_mm2": 0.98}
+
+
+@dataclass(frozen=True)
+class HardwareMetrics:
+    """Latency / energy / area of one network on one accelerator."""
+
+    latency_ms: float
+    energy_mj: float
+    area_mm2: float
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.latency_ms, self.energy_mj, self.area_mm2)
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name ('latency', 'energy', 'area')."""
+        return {
+            "latency": self.latency_ms,
+            "energy": self.energy_mj,
+            "area": self.area_mm2,
+        }[name]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.latency_ms:.2f} ms, {self.energy_mj:.2f} mJ, "
+            f"{self.area_mm2:.2f} mm2"
+        )
+
+
+def evaluate_layer(
+    layer: ConvLayerDesc,
+    config: AcceleratorConfig,
+    energy_table: Optional[EnergyTable] = None,
+) -> Tuple[float, float]:
+    """Return (latency_ms, energy_mj) of one convolution layer."""
+    table = energy_table or default_energy_table()
+    mapping = map_layer(layer, config)
+    energy_pj = (
+        layer.macs * table.mac_pj
+        + mapping.rf_accesses * table.rf_access_pj(config.rf_bytes)
+        + mapping.buffer_accesses * table.buffer_pj
+        + mapping.dram_accesses * table.dram_pj
+        + mapping.noc_hops * table.noc_hop_pj
+    ) * DATAFLOW_ENERGY_FACTOR[config.dataflow]
+    return mapping.latency_ms, energy_pj * 1e-9  # pJ -> mJ
+
+
+def evaluate_network(
+    arch: NetworkArch,
+    config: AcceleratorConfig,
+    energy_table: Optional[EnergyTable] = None,
+) -> HardwareMetrics:
+    """Evaluate a full network: sum latency/energy over layers, plus area."""
+    table = energy_table or default_energy_table()
+    latency = 0.0
+    energy = 0.0
+    for layer in arch.conv_layers():
+        lat, en = evaluate_layer(layer, config, table)
+        latency += lat
+        energy += en
+    return HardwareMetrics(latency, energy, area_mm2(config))
+
+
+def cost_hw(metrics: HardwareMetrics, weights: Optional[Dict[str, float]] = None) -> float:
+    """Eq. 10: balanced weighted sum over normalized metrics."""
+    w = weights or COST_WEIGHTS
+    return (
+        w["latency"] * metrics.latency_ms / REFERENCE_SCALES["latency_ms"]
+        + w["energy"] * metrics.energy_mj / REFERENCE_SCALES["energy_mj"]
+        + w["area"] * metrics.area_mm2 / REFERENCE_SCALES["area_mm2"]
+    )
+
+
+def edp(metrics: HardwareMetrics) -> float:
+    """Energy-delay product (the alternative cost the paper argues against)."""
+    return metrics.energy_mj * metrics.latency_ms
+
+
+def edap(metrics: HardwareMetrics) -> float:
+    """Energy-delay-area product."""
+    return metrics.energy_mj * metrics.latency_ms * metrics.area_mm2
+
+
+def exhaustive_search(
+    arch: NetworkArch,
+    objective=cost_hw,
+    constraints: Optional[Dict[str, float]] = None,
+    energy_table: Optional[EnergyTable] = None,
+    space: Optional[Iterable[AcceleratorConfig]] = None,
+) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+    """Brute-force the accelerator space for a fixed network.
+
+    This is the "HW search" half of the NAS->HW baseline: the paper
+    runs Timeloop exhaustively after a plain NAS.  ``constraints`` maps
+    metric names to upper bounds; infeasible designs are skipped (and
+    if nothing is feasible, the lowest-objective design is returned).
+
+    When searching the full space (``space is None``) the vectorized
+    evaluator computes all 2295 designs at once (~50x faster); the
+    objective/constraint semantics are identical.
+    """
+    table = energy_table or default_energy_table()
+    if space is None:
+        from repro.accelerator.batch import evaluate_network_space
+
+        evaluation = evaluate_network_space(arch, table)
+        candidates = (
+            (
+                config,
+                HardwareMetrics(
+                    evaluation.latency_ms[i],
+                    evaluation.energy_mj[i],
+                    evaluation.area_mm2[i],
+                ),
+            )
+            for i, config in enumerate(evaluation.configs)
+        )
+    else:
+        candidates = ((config, evaluate_network(arch, config, table)) for config in space)
+
+    best: Optional[Tuple[float, AcceleratorConfig, HardwareMetrics]] = None
+    fallback: Optional[Tuple[float, AcceleratorConfig, HardwareMetrics]] = None
+    for config, metrics in candidates:
+        score = objective(metrics)
+        if fallback is None or score < fallback[0]:
+            fallback = (score, config, metrics)
+        if constraints and any(
+            metrics.metric(name) > bound for name, bound in constraints.items()
+        ):
+            continue
+        if best is None or score < best[0]:
+            best = (score, config, metrics)
+    chosen = best or fallback
+    assert chosen is not None
+    return chosen[1], chosen[2]

@@ -1,0 +1,37 @@
+"""Per-action energy table — the Accelergy substitute.
+
+Accelergy estimates accelerator energy by counting architecture-level
+actions (MAC, register-file access, NoC transfer, SRAM access, DRAM
+access) and multiplying by per-action energies from a technology
+table.  We embed such a table directly, with values following the
+well-known relative costs for a ~45 nm node (Horowitz ISSCC'14 /
+Eyeriss ISSCC'16): a DRAM access costs ~200x a MAC, an on-chip SRAM
+access ~6x, a register-file access ~1x with mild growth in RF size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per action in picojoules."""
+
+    mac_pj: float = 2.2
+    rf_base_pj: float = 2.0
+    rf_per_log2_byte_pj: float = 0.25  # RF access grows with RF size
+    noc_hop_pj: float = 4.0
+    buffer_pj: float = 14.0
+    dram_pj: float = 450.0
+
+    def rf_access_pj(self, rf_bytes: int) -> float:
+        """Register-file access energy, growing log-linearly with size."""
+        return self.rf_base_pj + self.rf_per_log2_byte_pj * np.log2(rf_bytes)
+
+
+def default_energy_table() -> EnergyTable:
+    """The table used by all experiments (deterministic)."""
+    return EnergyTable()

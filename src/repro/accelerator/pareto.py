@@ -1,0 +1,74 @@
+"""Pareto-front utilities for design-space exploration.
+
+Used to compare solution sets (paper Fig. 3 right panel) and for the
+exhaustive NAS->HW hardware search diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Iterable[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> List[T]:
+    """Minimizing Pareto front over arbitrary objective callables.
+
+    An item is kept iff no other item is <= on every objective and <
+    on at least one.
+    """
+    pool = list(items)
+    scores = [tuple(obj(item) for item in pool) for obj in objectives]
+    # Transpose to per-item tuples.
+    per_item = list(zip(*scores)) if scores else []
+    front: List[T] = []
+    for i, item in enumerate(pool):
+        dominated = False
+        for j in range(len(pool)):
+            if i == j:
+                continue
+            if all(per_item[j][k] <= per_item[i][k] for k in range(len(objectives))) and any(
+                per_item[j][k] < per_item[i][k] for k in range(len(objectives))
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimize)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def hypervolume_2d(
+    points: Sequence[Tuple[float, float]], reference: Tuple[float, float]
+) -> float:
+    """2-D hypervolume (area dominated below ``reference``), minimizing.
+
+    A standard scalar measure of front quality: larger is better.
+    """
+    front = sorted(
+        {p for p in points if p[0] <= reference[0] and p[1] <= reference[1]}
+    )
+    if not front:
+        return 0.0
+    # Keep only non-dominated points (front is sorted by x ascending).
+    filtered: List[Tuple[float, float]] = []
+    best_y = float("inf")
+    for x, y in front:
+        if y < best_y:
+            filtered.append((x, y))
+            best_y = y
+    volume = 0.0
+    prev_x = reference[0]
+    for x, y in reversed(filtered):
+        volume += (prev_x - x) * (reference[1] - y)
+        prev_x = x
+    return volume

@@ -1,0 +1,151 @@
+"""Per-layer mapping reports and bottleneck analysis.
+
+Timeloop's most-used output besides raw numbers is the per-layer
+breakdown: where the cycles go (compute vs memory), how well the PE
+array is utilized, and which operand dominates energy.  These reports
+drive the kind of design feedback the paper's Sec. 5.7 analysis gives
+("WS exploits channel parallelism", "RS saves off-chip access
+energy"), so the reproduction provides them as a first-class API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.energy import EnergyTable, default_energy_table
+from repro.accelerator.timeloop import (
+    BUFFER_WORDS_PER_CYCLE,
+    DATAFLOW_ENERGY_FACTOR,
+    DRAM_WORDS_PER_CYCLE,
+    map_layer,
+)
+from repro.arch.network import ConvLayerDesc, NetworkArch
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """One convolution layer's mapping diagnosis."""
+
+    layer: ConvLayerDesc
+    utilization: float
+    latency_ms: float
+    bottleneck: str  # "compute" | "buffer" | "dram"
+    energy_mj: float
+    energy_breakdown: dict  # component -> mJ
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.layer.groups > 1
+
+
+@dataclass
+class NetworkReport:
+    """Aggregated per-layer diagnosis of a network on an accelerator."""
+
+    config: AcceleratorConfig
+    layers: List[LayerReport]
+
+    @property
+    def total_latency_ms(self) -> float:
+        return sum(l.latency_ms for l in self.layers)
+
+    @property
+    def total_energy_mj(self) -> float:
+        return sum(l.energy_mj for l in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Cycle-weighted average PE utilization."""
+        total = sum(l.latency_ms for l in self.layers)
+        if total == 0:
+            return 0.0
+        return sum(l.utilization * l.latency_ms for l in self.layers) / total
+
+    def bottleneck_share(self) -> dict:
+        """Fraction of total latency attributed to each bottleneck."""
+        shares = {"compute": 0.0, "buffer": 0.0, "dram": 0.0}
+        for layer in self.layers:
+            shares[layer.bottleneck] += layer.latency_ms
+        total = self.total_latency_ms or 1.0
+        return {k: v / total for k, v in shares.items()}
+
+    def dominant_energy_component(self) -> str:
+        totals: dict = {}
+        for layer in self.layers:
+            for key, value in layer.energy_breakdown.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return max(totals, key=totals.get)
+
+    def render(self) -> str:
+        lines = [f"Mapping report for {self.config}"]
+        lines.append(
+            f"total: {self.total_latency_ms:.2f} ms, {self.total_energy_mj:.2f} mJ, "
+            f"mean utilization {100 * self.mean_utilization:.0f}%"
+        )
+        shares = self.bottleneck_share()
+        lines.append(
+            "bottlenecks: "
+            + ", ".join(f"{k} {100 * v:.0f}%" for k, v in shares.items())
+        )
+        lines.append(f"dominant energy component: {self.dominant_energy_component()}")
+        lines.append("")
+        lines.append("layer (CxK kxk /s)          util   lat(ms) bound    E(mJ)")
+        for rep in self.layers:
+            layer = rep.layer
+            kind = "dw" if rep.is_depthwise else "  "
+            desc = (
+                f"{layer.in_channels}x{layer.out_channels} "
+                f"{layer.kernel}x{layer.kernel}/{layer.stride}{kind}"
+            )
+            lines.append(
+                f"{desc:27s} {100 * rep.utilization:4.0f}%  {rep.latency_ms:7.3f} "
+                f"{rep.bottleneck:8s} {rep.energy_mj:6.3f}"
+            )
+        return "\n".join(lines)
+
+
+def report_layer(
+    layer: ConvLayerDesc,
+    config: AcceleratorConfig,
+    table: Optional[EnergyTable] = None,
+) -> LayerReport:
+    """Diagnose one layer's mapping (bottleneck + energy decomposition)."""
+    table = table or default_energy_table()
+    mapping = map_layer(layer, config)
+    cycles = {
+        "compute": mapping.compute_cycles,
+        "buffer": mapping.buffer_accesses / BUFFER_WORDS_PER_CYCLE,
+        "dram": mapping.dram_accesses / DRAM_WORDS_PER_CYCLE,
+    }
+    bottleneck = max(cycles, key=cycles.get)
+    factor = DATAFLOW_ENERGY_FACTOR[config.dataflow] * 1e-9  # pJ -> mJ
+    breakdown = {
+        "mac": layer.macs * table.mac_pj * factor,
+        "rf": mapping.rf_accesses * table.rf_access_pj(config.rf_bytes) * factor,
+        "buffer": mapping.buffer_accesses * table.buffer_pj * factor,
+        "dram": mapping.dram_accesses * table.dram_pj * factor,
+        "noc": mapping.noc_hops * table.noc_hop_pj * factor,
+    }
+    return LayerReport(
+        layer=layer,
+        utilization=mapping.utilization,
+        latency_ms=mapping.latency_ms,
+        bottleneck=bottleneck,
+        energy_mj=sum(breakdown.values()),
+        energy_breakdown=breakdown,
+    )
+
+
+def report_network(
+    arch: NetworkArch,
+    config: AcceleratorConfig,
+    table: Optional[EnergyTable] = None,
+) -> NetworkReport:
+    """Full per-layer report for a network/accelerator pair."""
+    table = table or default_energy_table()
+    return NetworkReport(
+        config=config,
+        layers=[report_layer(layer, config, table) for layer in arch.conv_layers()],
+    )

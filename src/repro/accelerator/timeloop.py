@@ -1,0 +1,213 @@
+"""Analytical dataflow mapping model — the Timeloop substitute.
+
+Timeloop searches loop-nest mappings and reports per-layer utilization
+and per-level access counts.  This module computes the same quantities
+in closed form for the three dataflows of the paper's search space.
+The model captures the first-order effects that drive co-exploration:
+
+* **Spatial utilization** from how each dataflow maps loop dimensions
+  onto the PE array (channels for WS, output pixels for OS, filter
+  rows for RS) — including the well-known collapse of weight-stationary
+  arrays on depthwise layers (single input channel), which is the
+  paper's motivating MobileNet-on-TPU example.
+* **Register-file reuse** per operand type, limited by RF capacity, so
+  a larger RF cuts global-buffer/DRAM traffic (energy) at an area cost.
+* **Bandwidth-limited latency**: cycles are the max of compute cycles
+  and buffer/DRAM streaming cycles.
+
+Accesses are word-granular; energies are applied by the cost layer.
+"""
+
+from __future__ import annotations
+
+import math
+from builtins import max as builtins_max
+from dataclasses import dataclass
+
+from repro.accelerator.config import (
+    AcceleratorConfig,
+    Dataflow,
+    GLOBAL_BUFFER_BYTES,
+    WORD_BYTES,
+)
+from repro.arch.network import ConvLayerDesc
+
+#: PE clock in MHz (Eyeriss-class edge accelerator).
+CLOCK_MHZ = 200.0
+#: Global-buffer bandwidth in words per cycle.
+BUFFER_WORDS_PER_CYCLE = 32.0
+#: DRAM bandwidth in words per cycle (LPDDR-class at this clock).
+DRAM_WORDS_PER_CYCLE = 8.0
+#: Structural efficiency penalty of systolic (WS) arrays on depthwise
+#: layers, reflecting single-channel operands starving the array.
+WS_DEPTHWISE_PENALTY = 0.25
+
+#: Dataflow-level energy overhead factors (control, clock distribution,
+#: multicast machinery), reflecting the cross-dataflow comparisons in
+#: the Eyeriss evaluation: RS is the most energy-efficient dataflow,
+#: WS pays for operand broadcast, OS sits between.
+DATAFLOW_ENERGY_FACTOR = {
+    Dataflow.WS: 1.10,
+    Dataflow.OS: 1.00,
+    Dataflow.RS: 0.78,
+}
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Mapping result for one convolution layer on one configuration."""
+
+    utilization: float
+    compute_cycles: float
+    rf_accesses: float
+    buffer_accesses: float
+    dram_accesses: float
+    noc_hops: float
+    latency_cycles: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_cycles / (CLOCK_MHZ * 1e3)
+
+
+def _eff(n: int, lanes: int) -> float:
+    """Spatial efficiency of folding a loop of size ``n`` onto ``lanes``."""
+    if n <= 0 or lanes <= 0:
+        return 1.0
+    return n / (math.ceil(n / lanes) * lanes)
+
+
+def _pe_set_eff(r: int, lanes: int) -> float:
+    """Efficiency of packing PE sets of height ``r`` (RS dataflow)."""
+    if r > lanes:
+        return _eff(r, lanes)
+    return (lanes // r) * r / lanes
+
+
+def _reuse_factors(layer: ConvLayerDesc, config: AcceleratorConfig):
+    """Per-operand effective reuse between buffer and PEs (W, I, O).
+
+    Each factor is ``temporal_rf_reuse x spatial_multicast_reuse``: one
+    global-buffer access serves that many MAC-operand references, either
+    because the word stays resident in a register file (temporal) or
+    because the NoC multicasts it to several PEs at once (spatial).
+    """
+    r = layer.kernel
+    rs = r * r
+    rf_words = config.rf_words
+    oh_ow = layer.out_size * layer.out_size
+    rows, cols = config.pe_rows, config.pe_cols
+    df = config.dataflow
+    channels_per_group = layer.in_channels // layer.groups
+
+    if df is Dataflow.WS:
+        # Weights pinned in RFs (temporal); inputs broadcast across the
+        # output-channel columns (spatial); psums reduced down the input
+        # -channel rows (spatial).
+        capacity = min(1.0, rf_words / rs)
+        # A bigger RF holds several filters per PE, so each input fetch
+        # serves more resident weights before eviction.
+        resident_pairs = min(4.0, builtins_max(1, rf_words // rs))
+        reuse_w = max(1.0, oh_ow * capacity)
+        spatial_i = min(float(layer.out_channels), float(cols))
+        reuse_i = min(4.0, float(rs)) * spatial_i * resident_pairs
+        reuse_o = min(float(channels_per_group), float(rows))
+        if layer.groups > 1:
+            # Depthwise: no channel reduction, no useful input broadcast.
+            reuse_i = min(4.0, float(rs)) * resident_pairs
+            reuse_o = 1.0
+    elif df is Dataflow.OS:
+        # Psums pinned in RFs for the full accumulation depth; weights
+        # broadcast to every active PE (spatial); inputs shared between
+        # neighbouring output pixels.
+        capacity = max(0.25, min(1.0, rf_words / 8.0))
+        reuse_o = max(1.0, channels_per_group * rs * capacity)
+        reuse_w = max(1.0, config.num_pes * 0.5)
+        reuse_i = min(float(rs), 9.0) * 2.0
+    else:  # Dataflow.RS
+        # Row-stationary: filter rows reused across output rows
+        # (temporal), input rows multicast diagonally (spatial), psums
+        # accumulated vertically within each PE set.
+        need = 2.0 * rs + r
+        capacity = max(0.25, min(1.0, rf_words / need))
+        resident_rows = min(4.0, builtins_max(1, int(rf_words // need)))
+        reuse_w = max(1.0, 2.0 * layer.out_size * capacity)
+        reuse_i = max(1.0, 2.0 * rs * capacity) * r * resident_rows
+        fold = min(channels_per_group, 4)
+        reuse_o = max(1.0, rs * fold * capacity)
+    return reuse_w, reuse_i, reuse_o
+
+
+def _utilization(layer: ConvLayerDesc, config: AcceleratorConfig) -> float:
+    """Fraction of PEs doing useful work for this layer."""
+    rows, cols = config.pe_rows, config.pe_cols
+    df = config.dataflow
+    depthwise = layer.groups > 1
+
+    if df is Dataflow.WS:
+        if depthwise:
+            # Single input channel per group: the reduction dimension the
+            # systolic array needs collapses to 1.
+            util = _eff(layer.out_channels, cols) * WS_DEPTHWISE_PENALTY
+        else:
+            util = _eff(layer.in_channels, rows) * _eff(layer.out_channels, cols)
+    elif df is Dataflow.OS:
+        util = _eff(layer.out_size, rows) * _eff(layer.out_size, cols)
+    else:  # RS
+        set_eff = _pe_set_eff(layer.kernel, rows)
+        # Output rows map onto columns; leftover columns are filled by
+        # replicating filters (Eyeriss folding), with control overhead.
+        col_work = layer.out_size * min(layer.out_channels, 4)
+        util = set_eff * min(1.0, _eff(col_work, cols) * 2.0) * 0.85
+    return max(util, 1e-3)
+
+
+def map_layer(layer: ConvLayerDesc, config: AcceleratorConfig) -> LayerMapping:
+    """Map one convolution onto the accelerator, Timeloop-style."""
+    macs = float(layer.macs)
+    util = _utilization(layer, config)
+    compute_cycles = macs / (config.num_pes * util)
+
+    reuse_w, reuse_i, reuse_o = _reuse_factors(layer, config)
+    w_refs, i_refs, o_refs = macs, macs, 2.0 * macs
+
+    volume_w = float(layer.weight_count)
+    volume_i = float(layer.input_count)
+    volume_o = float(layer.output_count)
+
+    buffer_w = max(w_refs / reuse_w, volume_w)
+    buffer_i = max(i_refs / reuse_i, volume_i)
+    buffer_o = max(o_refs / reuse_o, volume_o)
+    buffer_accesses = buffer_w + buffer_i + buffer_o
+
+    # Every MAC reads two operands and updates one partial sum in the RF.
+    rf_accesses = 3.0 * macs
+
+    # DRAM: one pass per operand, multiplied by a refetch factor when the
+    # layer's working set exceeds the global buffer.  Square-root growth
+    # models the halo overhead of a competent tiling rather than naive
+    # full refetch.
+    working_set_bytes = (volume_w + volume_i + volume_o) * WORD_BYTES
+    refetch = max(1.0, math.sqrt(working_set_bytes / GLOBAL_BUFFER_BYTES))
+    dram_accesses = (volume_w + volume_i) * refetch + volume_o
+
+    # Each buffer access traverses the NoC; average hop count scales with
+    # array dimension.
+    avg_hops = (config.pe_rows + config.pe_cols) / 8.0
+    noc_hops = buffer_accesses * avg_hops * 0.25
+
+    latency_cycles = max(
+        compute_cycles,
+        buffer_accesses / BUFFER_WORDS_PER_CYCLE,
+        dram_accesses / DRAM_WORDS_PER_CYCLE,
+    )
+
+    return LayerMapping(
+        utilization=util,
+        compute_cycles=compute_cycles,
+        rf_accesses=rf_accesses,
+        buffer_accesses=buffer_accesses,
+        dram_accesses=dram_accesses,
+        noc_hops=noc_hops,
+        latency_cycles=latency_cycles,
+    )

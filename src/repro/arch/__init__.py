@@ -1,0 +1,49 @@
+"""Neural architecture search space and supernet (ProxylessNAS-style).
+
+The space follows the paper's Section 4.4: MBConv blocks with kernel
+size in {3, 5, 7} and expand ratio in {3, 6} (plus an identity/skip
+candidate for depth search), 18 layers for CIFAR-10 and 21 for
+ImageNet, with a fixed (3, 1) stem block.
+"""
+
+from repro.arch.space import (
+    CANDIDATES,
+    LayerSpec,
+    MBConvChoice,
+    SearchSpace,
+    SKIP,
+    cifar_space,
+    imagenet_space,
+)
+from repro.arch.network import ConvLayerDesc, NetworkArch
+from repro.arch.blocks import MBConvBlock, build_network_module
+from repro.arch.supernet import SuperNet
+from repro.arch.encoding import (
+    arch_feature_dim,
+    arch_features_from_alpha,
+    arch_features_from_indices,
+    extended_feature_dim,
+    extended_features_from_alpha,
+    extended_features_from_indices,
+)
+
+__all__ = [
+    "MBConvChoice",
+    "SKIP",
+    "CANDIDATES",
+    "LayerSpec",
+    "SearchSpace",
+    "cifar_space",
+    "imagenet_space",
+    "NetworkArch",
+    "ConvLayerDesc",
+    "MBConvBlock",
+    "build_network_module",
+    "SuperNet",
+    "arch_feature_dim",
+    "arch_features_from_alpha",
+    "arch_features_from_indices",
+    "extended_feature_dim",
+    "extended_features_from_alpha",
+    "extended_features_from_indices",
+]

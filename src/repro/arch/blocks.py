@@ -1,0 +1,114 @@
+"""Trainable MBConv blocks and full-network assembly.
+
+Blocks follow MobileNetV2: pointwise expand + BN + ReLU6, depthwise
+kxk + BN + ReLU6, pointwise project + BN, with a residual connection
+when shapes allow.  Widths use the search space's reduced
+``train_channels`` so CPU training stays feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.autodiff import Tensor
+from repro.arch.network import NetworkArch
+from repro.arch.space import LayerSpec, MBConvChoice
+
+
+class MBConvBlock(nn.Module):
+    """Inverted-residual block with configurable kernel and expansion."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        expand: int,
+        stride: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        mid = in_channels * expand
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand_conv = (
+            None
+            if expand == 1
+            else nn.Conv2d(in_channels, mid, 1, rng=rng)
+        )
+        self.expand_bn = None if expand == 1 else nn.BatchNorm2d(mid)
+        self.dw_conv = nn.Conv2d(
+            mid, mid, kernel, stride=stride, padding=kernel // 2, groups=mid, rng=rng
+        )
+        self.dw_bn = nn.BatchNorm2d(mid)
+        self.project_conv = nn.Conv2d(mid, out_channels, 1, rng=rng)
+        self.project_bn = nn.BatchNorm2d(out_channels)
+        self.act = nn.ReLU6()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        if self.expand_conv is not None:
+            out = self.act(self.expand_bn(self.expand_conv(out)))
+        out = self.act(self.dw_bn(self.dw_conv(out)))
+        out = self.project_bn(self.project_conv(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class _Stem(nn.Module):
+    """Fixed (3, 1) stem: 3x3 conv + BN + ReLU6."""
+
+    def __init__(self, out_channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv = nn.Conv2d(3, out_channels, 3, padding=1, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+        self.act = nn.ReLU6()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class _Head(nn.Module):
+    """Global average pool + linear classifier."""
+
+    def __init__(self, in_channels: int, num_classes: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.pool(x))
+
+
+def make_block(
+    spec: LayerSpec, choice: MBConvChoice, rng: np.random.Generator
+) -> nn.Module:
+    """Instantiate the trainable module for one layer candidate."""
+    if choice.is_skip:
+        return nn.Identity()
+    return MBConvBlock(
+        spec.train_in_channels,
+        spec.train_out_channels,
+        choice.kernel,
+        choice.expand,
+        spec.stride,
+        rng=rng,
+    )
+
+
+def build_network_module(arch: NetworkArch, seed: int = 0) -> nn.Module:
+    """Build the standalone trainable network for a discrete architecture.
+
+    Used for final from-scratch training of searched solutions.
+    """
+    rng = np.random.default_rng(seed)
+    space = arch.space
+    blocks = [_Stem(space.train_stem_channels, rng)]
+    for spec, choice in zip(space.layers, arch.choices):
+        blocks.append(make_block(spec, choice, rng))
+    blocks.append(_Head(space.train_final_channels, space.num_classes, rng))
+    return nn.Sequential(*blocks)

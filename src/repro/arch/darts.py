@@ -1,0 +1,80 @@
+"""DARTS-style supernet: continuous mixture over all candidates.
+
+The paper notes HDX "is orthogonal to the NAS implementation and has
+the flexibility to choose from any differentiable NAS algorithms, such
+as DARTS or OFA".  This module provides the DARTS-style relaxation as
+an alternative to the ProxylessNAS path-sampling supernet: every
+candidate block runs on every forward pass and outputs are blended by
+softmax(alpha), giving exact (not estimated) gradients to alpha at a
+higher compute cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+from repro.arch.blocks import _Head, _Stem, make_block
+from repro.arch.encoding import alpha_bias, arch_features_from_alpha
+from repro.arch.network import NetworkArch
+from repro.arch.space import SearchSpace
+
+
+class DartsSuperNet(nn.Module):
+    """Weight-sharing supernet with DARTS mixed operations."""
+
+    def __init__(self, space: SearchSpace, seed: int = 0) -> None:
+        super().__init__()
+        self.space = space
+        rng = np.random.default_rng(seed)
+        self.stem = _Stem(space.train_stem_channels, rng)
+        self.layer_candidates: List[List[nn.Module]] = []
+        for li, spec in enumerate(space.layers):
+            candidates = []
+            for ci, choice in enumerate(spec.candidates()):
+                block = make_block(spec, choice, rng)
+                setattr(self, f"l{li}_c{ci}", block)
+                candidates.append(block)
+            self.layer_candidates.append(candidates)
+        self.head = _Head(space.train_final_channels, space.num_classes, rng)
+        self.alpha = nn.Parameter(np.zeros((space.num_layers, space.num_choices)))
+        self._alpha_bias = alpha_bias(space)
+
+    # ------------------------------------------------------------------
+    def weight_parameters(self) -> List[nn.Parameter]:
+        return [p for _, p in self.named_parameters() if p is not self.alpha]
+
+    def arch_parameters(self) -> List[nn.Parameter]:
+        return [self.alpha]
+
+    def alpha_probs(self) -> Tensor:
+        return ops.softmax(self.alpha + self._alpha_bias, axis=-1)
+
+    def arch_features(self) -> Tensor:
+        return arch_features_from_alpha(self.space, self.alpha)
+
+    def dominant_arch(self) -> NetworkArch:
+        probs = self.alpha_probs().data
+        indices = []
+        for li, spec in enumerate(self.space.layers):
+            n_valid = len(spec.candidates())
+            indices.append(int(probs[li, :n_valid].argmax()))
+        return NetworkArch.from_indices(self.space, indices)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Blend every candidate's output by its softmax(alpha) weight."""
+        probs = self.alpha_probs()
+        out = self.stem(x)
+        for li, candidates in enumerate(self.layer_candidates):
+            n_valid = len(self.space.layers[li].candidates())
+            mixed: Optional[Tensor] = None
+            for ci in range(n_valid):
+                weight = probs[(np.array([li]), np.array([ci]))].reshape(1, 1, 1, 1)
+                term = candidates[ci](out) * weight
+                mixed = term if mixed is None else mixed + term
+            out = mixed
+        return self.head(out)

@@ -1,0 +1,155 @@
+"""Architecture feature encodings shared by estimator and generator.
+
+A network is encoded layer-by-layer as a distribution over the
+candidate set (one-hot for discrete architectures, softmax(alpha) for
+the relaxed supernet).  Both produce the same flattened layout, so the
+estimator trained on discrete samples accepts relaxed inputs during
+differentiable search.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor, ops
+from repro.arch.space import SearchSpace
+
+
+def arch_feature_dim(space: SearchSpace) -> int:
+    """Dimensionality of the flattened architecture encoding."""
+    return space.num_layers * space.num_choices
+
+
+def candidate_mask(space: SearchSpace) -> np.ndarray:
+    """(L, C) boolean mask of valid candidate slots per layer."""
+    mask = np.zeros((space.num_layers, space.num_choices), dtype=bool)
+    for i, spec in enumerate(space.layers):
+        mask[i, : len(spec.candidates())] = True
+    return mask
+
+
+def alpha_bias(space: SearchSpace, fill: float = -1e9) -> np.ndarray:
+    """Additive bias that removes invalid slots from a masked softmax."""
+    bias = np.zeros((space.num_layers, space.num_choices))
+    bias[~candidate_mask(space)] = fill
+    return bias
+
+
+def arch_features_from_indices(space: SearchSpace, indices: Sequence[int]) -> np.ndarray:
+    """One-hot encoding of a discrete architecture, flattened to 1-D."""
+    feats = np.zeros((space.num_layers, space.num_choices))
+    for i, idx in enumerate(indices):
+        n_valid = len(space.layers[i].candidates())
+        feats[i, int(idx) % n_valid] = 1.0
+    return feats.reshape(-1)
+
+
+def arch_features_from_alpha(space: SearchSpace, alpha: Tensor) -> Tensor:
+    """Differentiable soft encoding: masked softmax of ``alpha`` rows.
+
+    ``alpha`` has shape (num_layers, num_choices); invalid slots get a
+    large negative bias so their probability is exactly ~0.
+    """
+    if alpha.shape != (space.num_layers, space.num_choices):
+        raise ValueError(
+            f"alpha shape {alpha.shape} does not match space "
+            f"({space.num_layers}, {space.num_choices})"
+        )
+    biased = alpha + alpha_bias(space)
+    probs = ops.softmax(biased, axis=-1)
+    return probs.reshape(-1)
+
+
+# ----------------------------------------------------------------------
+# Engineered summary features (linear in the choice probabilities)
+# ----------------------------------------------------------------------
+_STATS_CACHE: dict = {}
+
+#: Number of global engineered summary features (total macs, weights,
+#: depthwise macs); per-layer expected MACs are appended on top.
+GLOBAL_SUMMARY_DIM = 3
+
+
+def summary_dim(space: SearchSpace) -> int:
+    """Global summaries plus one expected-MACs feature per layer."""
+    return GLOBAL_SUMMARY_DIM + space.num_layers
+
+
+def _choice_stats(space: SearchSpace) -> np.ndarray:
+    """(3, L, C) per-choice MACs, weights, depthwise MACs (normalized).
+
+    These are properties of each candidate block at paper-scale widths;
+    their expectation under the architecture distribution is linear in
+    the probabilities, so the summary stays differentiable.
+    """
+    key = id(space)
+    if key in _STATS_CACHE:
+        return _STATS_CACHE[key]
+
+    stats = np.zeros((3, space.num_layers, space.num_choices))
+    for li, spec in enumerate(space.layers):
+        for ci, choice in enumerate(spec.candidates()):
+            if choice.is_skip:
+                continue
+            mid = spec.in_channels * choice.expand
+            macs = weights = dw = 0.0
+            if choice.expand != 1:
+                expand_macs = spec.in_channels * mid * spec.in_size**2
+                macs += expand_macs
+                weights += spec.in_channels * mid
+            dw_macs = mid * choice.kernel**2 * spec.out_size**2
+            macs += dw_macs
+            dw += dw_macs
+            weights += mid * choice.kernel**2
+            proj_macs = mid * spec.out_channels * spec.out_size**2
+            macs += proj_macs
+            weights += mid * spec.out_channels
+            stats[0, li, ci] = macs
+            stats[1, li, ci] = weights
+            stats[2, li, ci] = dw
+    # Normalize each stat by the max-network total, keeping values O(1).
+    for s in range(3):
+        total_max = sum(stats[s, li].max() for li in range(space.num_layers))
+        if total_max > 0:
+            stats[s] /= total_max
+    _STATS_CACHE[key] = stats
+    return stats
+
+
+def summary_from_probs(space: SearchSpace, probs_flat) -> Tensor:
+    """Expected workload summary — differentiable.
+
+    Layout: [total_macs, total_weights, total_dw_macs, macs_layer_0,
+    ..., macs_layer_{L-1}], all normalized to O(1).  The per-layer MAC
+    expectations give the estimator a nearly linear handle on the
+    compute-bound latency component.
+    """
+    from repro.autodiff import as_tensor
+
+    stats = _choice_stats(space)
+    probs = as_tensor(probs_flat).reshape(space.num_layers, space.num_choices)
+    parts = [
+        (probs * stats[s]).sum().reshape(1) for s in range(GLOBAL_SUMMARY_DIM)
+    ]
+    per_layer_macs = (probs * stats[0]).sum(axis=1) * space.num_layers
+    parts.append(per_layer_macs)
+    return ops.concat(parts, axis=0)
+
+
+def extended_features_from_alpha(space: SearchSpace, alpha: Tensor) -> Tensor:
+    """One-hot-soft block plus engineered summary, differentiable."""
+    probs = arch_features_from_alpha(space, alpha)
+    return ops.concat([probs, summary_from_probs(space, probs)], axis=0)
+
+
+def extended_features_from_indices(space: SearchSpace, indices: Sequence[int]) -> np.ndarray:
+    """Discrete counterpart of :func:`extended_features_from_alpha`."""
+    one_hot = arch_features_from_indices(space, indices)
+    summary = summary_from_probs(space, one_hot).data
+    return np.concatenate([one_hot, summary])
+
+
+def extended_feature_dim(space: SearchSpace) -> int:
+    return arch_feature_dim(space) + summary_dim(space)

@@ -1,0 +1,142 @@
+"""Discrete network architectures and their convolution-layer expansion.
+
+A :class:`NetworkArch` is a per-layer choice of MBConv candidate.  The
+hardware cost model does not see MBConv blocks directly — it sees the
+individual convolutions each block expands to (expand 1x1, depthwise
+kxk, project 1x1), described by :class:`ConvLayerDesc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.arch.space import MBConvChoice, SearchSpace, SKIP
+
+
+@dataclass(frozen=True)
+class ConvLayerDesc:
+    """One convolution as consumed by the accelerator model.
+
+    ``groups == in_channels == out_channels`` marks a depthwise layer.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    in_size: int
+    groups: int = 1
+
+    @property
+    def out_size(self) -> int:
+        return self.in_size // self.stride
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count for one inference."""
+        per_output = (self.in_channels // self.groups) * self.kernel * self.kernel
+        return self.out_channels * self.out_size * self.out_size * per_output
+
+    @property
+    def weight_count(self) -> int:
+        return (
+            self.out_channels * (self.in_channels // self.groups) * self.kernel * self.kernel
+        )
+
+    @property
+    def input_count(self) -> int:
+        return self.in_channels * self.in_size * self.in_size
+
+    @property
+    def output_count(self) -> int:
+        return self.out_channels * self.out_size * self.out_size
+
+
+class NetworkArch:
+    """A concrete architecture: one candidate chosen per layer."""
+
+    def __init__(self, space: SearchSpace, choices: Sequence[MBConvChoice]) -> None:
+        if len(choices) != space.num_layers:
+            raise ValueError(
+                f"expected {space.num_layers} choices, got {len(choices)}"
+            )
+        for spec, choice in zip(space.layers, choices):
+            if choice.is_skip and not spec.allow_skip:
+                raise ValueError("skip chosen for a layer that cannot be skipped")
+        self.space = space
+        self.choices = tuple(choices)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_indices(cls, space: SearchSpace, indices: Sequence[int]) -> "NetworkArch":
+        choices = []
+        for spec, idx in zip(space.layers, indices):
+            candidates = spec.candidates()
+            choices.append(candidates[int(idx) % len(candidates)])
+        return cls(space, choices)
+
+    @classmethod
+    def random(cls, space: SearchSpace, rng: np.random.Generator) -> "NetworkArch":
+        indices = [rng.integers(0, len(spec.candidates())) for spec in space.layers]
+        return cls.from_indices(space, indices)
+
+    def to_indices(self) -> List[int]:
+        out = []
+        for spec, choice in zip(self.space.layers, self.choices):
+            out.append(spec.candidates().index(choice))
+        return out
+
+    # ------------------------------------------------------------------
+    # Properties consumed by the cost model
+    # ------------------------------------------------------------------
+    def conv_layers(self) -> List[ConvLayerDesc]:
+        """Expand stem + MBConv blocks into individual convolutions."""
+        space = self.space
+        layers: List[ConvLayerDesc] = [
+            # Fixed (3, 1) stem: plain 3x3 convolution.
+            ConvLayerDesc(3, space.stem_channels, 3, 1, space.input_size)
+        ]
+        for spec, choice in zip(space.layers, self.choices):
+            if choice.is_skip:
+                continue
+            mid = spec.in_channels * choice.expand
+            if choice.expand != 1:
+                layers.append(
+                    ConvLayerDesc(spec.in_channels, mid, 1, 1, spec.in_size)
+                )
+            layers.append(
+                ConvLayerDesc(mid, mid, choice.kernel, spec.stride, spec.in_size, groups=mid)
+            )
+            layers.append(
+                ConvLayerDesc(mid, spec.out_channels, 1, 1, spec.out_size)
+            )
+        return layers
+
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.conv_layers())
+
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.conv_layers())
+
+    def depth(self) -> int:
+        """Number of non-skip MBConv blocks."""
+        return sum(1 for c in self.choices if not c.is_skip)
+
+    def __repr__(self) -> str:
+        inner = " ".join(str(c) for c in self.choices)
+        return f"NetworkArch[{self.space.name}: {inner}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, NetworkArch)
+            and self.space is other.space
+            and self.choices == other.choices
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.space), self.choices))

@@ -1,0 +1,189 @@
+"""Definition of the MBConv search space.
+
+Two channel widths exist side by side:
+
+* ``channels`` — paper-scale widths fed to the hardware cost model, so
+  latency/energy land in the ranges the paper reports (tens of ms).
+* ``train_channels`` — reduced widths used to instantiate trainable
+  modules so supernet training is feasible on offline CPUs.
+
+Both describe the *same* architecture decisions (kernel size, expand
+ratio, depth); only the width scale differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MBConvChoice:
+    """One candidate operation for a searchable layer.
+
+    ``kernel == 0`` encodes the identity (skip) candidate used for
+    depth search.
+    """
+
+    kernel: int
+    expand: int
+
+    @property
+    def is_skip(self) -> bool:
+        return self.kernel == 0
+
+    def __str__(self) -> str:
+        return "skip" if self.is_skip else f"({self.kernel},{self.expand})"
+
+
+SKIP = MBConvChoice(kernel=0, expand=0)
+
+#: The paper's candidate set: kernel {3,5,7} x expand {3,6}.
+CANDIDATES: Tuple[MBConvChoice, ...] = tuple(
+    MBConvChoice(k, e) for k in (3, 5, 7) for e in (3, 6)
+)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Static configuration of one searchable layer position."""
+
+    in_channels: int
+    out_channels: int
+    stride: int
+    in_size: int  # input spatial resolution (paper scale)
+    train_in_channels: int
+    train_out_channels: int
+    allow_skip: bool
+
+    @property
+    def out_size(self) -> int:
+        return self.in_size // self.stride
+
+    def candidates(self) -> Tuple[MBConvChoice, ...]:
+        if self.allow_skip:
+            return CANDIDATES + (SKIP,)
+        return CANDIDATES
+
+
+class SearchSpace:
+    """A stack of searchable MBConv layers plus a fixed stem/head.
+
+    The stem is the fixed (3, 1) block shown in the paper's Figure 5;
+    the head is a global-average-pool + linear classifier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_size: int,
+        train_input_size: int,
+        num_classes: int,
+        stem_channels: int,
+        train_stem_channels: int,
+        stage_plan: Sequence[Tuple[int, int, int, int]],
+    ) -> None:
+        """``stage_plan`` rows are (paper_width, train_width, n_layers, stride)."""
+        self.name = name
+        self.input_size = input_size
+        self.train_input_size = train_input_size
+        self.num_classes = num_classes
+        self.stem_channels = stem_channels
+        self.train_stem_channels = train_stem_channels
+
+        self.layers: List[LayerSpec] = []
+        in_ch, t_in_ch = stem_channels, train_stem_channels
+        size = input_size  # stem keeps resolution (stride 1, pad 1)
+        for width, t_width, n_layers, stride in stage_plan:
+            for i in range(n_layers):
+                layer_stride = stride if i == 0 else 1
+                # Skip is only valid when the block could be an identity:
+                # same channels and stride 1.
+                allow_skip = layer_stride == 1 and in_ch == width
+                self.layers.append(
+                    LayerSpec(
+                        in_channels=in_ch,
+                        out_channels=width,
+                        stride=layer_stride,
+                        in_size=size,
+                        train_in_channels=t_in_ch,
+                        train_out_channels=t_width,
+                        allow_skip=allow_skip,
+                    )
+                )
+                in_ch, t_in_ch = width, t_width
+                size //= layer_stride
+        self.final_channels = in_ch
+        self.train_final_channels = t_in_ch
+        self.final_size = size
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_choices(self) -> int:
+        """Maximum number of candidates across layers (skip included)."""
+        return len(CANDIDATES) + 1
+
+    def choices_for(self, layer_index: int) -> Tuple[MBConvChoice, ...]:
+        return self.layers[layer_index].candidates()
+
+    def candidate_counts(self) -> List[int]:
+        return [len(spec.candidates()) for spec in self.layers]
+
+    def total_architectures(self) -> int:
+        total = 1
+        for count in self.candidate_counts():
+            total *= count
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchSpace({self.name}, layers={self.num_layers}, "
+            f"archs={self.total_architectures():.3e})"
+        )
+
+
+def cifar_space(train_scale: int = 4) -> SearchSpace:
+    """18-layer CIFAR-10 space (paper Sec. 4.4).
+
+    Paper-scale widths follow a MobileNetV2-like progression; training
+    widths divide them by ``2**train_scale``-ish factors via the plan
+    below.
+    """
+    return SearchSpace(
+        name="cifar10",
+        input_size=32,
+        train_input_size=16,
+        num_classes=10,
+        stem_channels=40,
+        train_stem_channels=8,
+        stage_plan=[
+            # (paper_width, train_width, n_layers, first_stride)
+            (40, 8, 4, 1),
+            (80, 12, 5, 2),
+            (160, 16, 5, 2),
+            (320, 24, 4, 2),
+        ],
+    )
+
+
+def imagenet_space() -> SearchSpace:
+    """21-layer ImageNet space (paper Sec. 4.4)."""
+    return SearchSpace(
+        name="imagenet",
+        input_size=64,
+        train_input_size=24,
+        num_classes=20,
+        stem_channels=56,
+        train_stem_channels=8,
+        stage_plan=[
+            (56, 8, 4, 1),
+            (112, 12, 5, 2),
+            (224, 16, 5, 2),
+            (448, 20, 4, 2),
+            (640, 24, 3, 2),
+        ],
+    )

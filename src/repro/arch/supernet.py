@@ -1,0 +1,113 @@
+"""ProxylessNAS-style supernet with single-path sampling.
+
+Every searchable layer holds all candidate blocks; a forward pass
+samples one path from ``softmax(alpha)`` and executes only that block.
+The executed output is scaled by ``p_i / stop_grad(p_i)``, which leaves
+the forward value unchanged while letting gradients reach ``alpha``
+through the sampled path's probability — the standard single-path
+estimator used by differentiable NAS at scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+from repro.arch.blocks import _Head, _Stem, make_block
+from repro.arch.encoding import alpha_bias, arch_features_from_alpha
+from repro.arch.network import NetworkArch
+from repro.arch.space import SearchSpace
+
+
+class SuperNet(nn.Module):
+    """Weight-sharing supernet over a :class:`SearchSpace`."""
+
+    def __init__(self, space: SearchSpace, seed: int = 0) -> None:
+        super().__init__()
+        self.space = space
+        rng = np.random.default_rng(seed)
+        self.stem = _Stem(space.train_stem_channels, rng)
+        self.layer_candidates: List[List[nn.Module]] = []
+        for li, spec in enumerate(space.layers):
+            candidates = []
+            for ci, choice in enumerate(spec.candidates()):
+                block = make_block(spec, choice, rng)
+                setattr(self, f"l{li}_c{ci}", block)
+                candidates.append(block)
+            self.layer_candidates.append(candidates)
+        self.head = _Head(space.train_final_channels, space.num_classes, rng)
+        # Architecture parameters: one row per layer, masked softmax.
+        self.alpha = nn.Parameter(np.zeros((space.num_layers, space.num_choices)))
+        self._alpha_bias = alpha_bias(space)
+        self._path_rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------
+    # Parameter partitions
+    # ------------------------------------------------------------------
+    def weight_parameters(self) -> List[nn.Parameter]:
+        """All parameters except the architecture parameters ``alpha``."""
+        return [p for _, p in self.named_parameters() if p is not self.alpha]
+
+    def arch_parameters(self) -> List[nn.Parameter]:
+        return [self.alpha]
+
+    # ------------------------------------------------------------------
+    # Architecture distribution
+    # ------------------------------------------------------------------
+    def alpha_probs(self) -> Tensor:
+        """(L, C) differentiable candidate probabilities."""
+        return ops.softmax(self.alpha + self._alpha_bias, axis=-1)
+
+    def alpha_probs_numpy(self) -> np.ndarray:
+        return self.alpha_probs().data
+
+    def arch_features(self) -> Tensor:
+        """Flattened soft encoding consumed by estimator/generator."""
+        return arch_features_from_alpha(self.space, self.alpha)
+
+    def sample_path(self, rng: Optional[np.random.Generator] = None) -> List[int]:
+        """Sample one candidate index per layer from softmax(alpha)."""
+        rng = rng or self._path_rng
+        probs = self.alpha_probs_numpy()
+        indices = []
+        for li, spec in enumerate(self.space.layers):
+            n_valid = len(spec.candidates())
+            p = probs[li, :n_valid]
+            p = p / p.sum()
+            indices.append(int(rng.choice(n_valid, p=p)))
+        return indices
+
+    def dominant_indices(self) -> List[int]:
+        """Most probable candidate per layer (the ``net(alpha)`` of Eq. 2)."""
+        probs = self.alpha_probs_numpy()
+        indices = []
+        for li, spec in enumerate(self.space.layers):
+            n_valid = len(spec.candidates())
+            indices.append(int(probs[li, :n_valid].argmax()))
+        return indices
+
+    def dominant_arch(self) -> NetworkArch:
+        return NetworkArch.from_indices(self.space, self.dominant_indices())
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor, path: Optional[Sequence[int]] = None) -> Tensor:
+        """Run the supernet along ``path`` (sampled when omitted).
+
+        Gradients reach ``alpha`` via the probability-ratio gate on each
+        executed block.
+        """
+        if path is None:
+            path = self.sample_path()
+        probs = self.alpha_probs()
+        out = self.stem(x)
+        for li, idx in enumerate(path):
+            block_out = self.layer_candidates[li][idx](out)
+            gate = probs[(np.array([li]), np.array([idx]))]
+            scale = gate / float(gate.data[0])
+            out = block_out * scale.reshape(1, 1, 1, 1)
+        return self.head(out)

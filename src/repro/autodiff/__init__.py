@@ -1,0 +1,30 @@
+"""Reverse-mode automatic differentiation engine.
+
+This subpackage is the PyTorch-autograd substitute for the HDX
+reproduction.  It provides a :class:`Tensor` wrapping a NumPy array, a
+tape-free graph built from closures, and enough differentiable
+operations to train convolutional supernets and residual MLPs.
+
+Example
+-------
+>>> from repro.autodiff import Tensor
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[[2.0, 4.0]]
+"""
+
+from repro.autodiff.grad_mode import is_grad_enabled, no_grad
+from repro.autodiff.tensor import Tensor, as_tensor
+from repro.autodiff import ops
+from repro.autodiff.check import gradient_check
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "gradient_check",
+]

@@ -1,0 +1,54 @@
+"""Numerical gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def gradient_check(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> bool:
+    """Compare analytic and central-difference gradients of ``fn``.
+
+    ``fn`` must map the given input tensors to a scalar tensor.  Raises
+    ``AssertionError`` with a diagnostic message on mismatch and
+    returns True on success.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("gradient_check requires a scalar-valued function")
+    out.backward()
+
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        assert analytic is not None, f"input {index} received no gradient"
+        numeric = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = fn(*inputs).item()
+            flat[i] = original - eps
+            minus = fn(*inputs).item()
+            flat[i] = original
+            numeric_flat[i] = (plus - minus) / (2.0 * eps)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
+                f"analytic={analytic}\nnumeric={numeric}"
+            )
+    return True

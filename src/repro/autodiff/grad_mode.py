@@ -1,0 +1,26 @@
+"""Global gradient-recording switch, mirroring ``torch.no_grad``."""
+
+import contextlib
+import threading
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record backward graphs."""
+    return getattr(_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording.
+
+    Tensors created inside the block do not track history, which makes
+    inference and in-place statistics updates cheap.
+    """
+    previous = is_grad_enabled()
+    _state.enabled = False
+    try:
+        yield
+    finally:
+        _state.enabled = previous

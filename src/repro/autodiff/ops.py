@@ -1,0 +1,547 @@
+"""Differentiable operations for the autodiff engine.
+
+Every function takes tensors (or array-likes) and returns a new
+:class:`~repro.autodiff.tensor.Tensor` whose parents carry the local
+vector-Jacobian products.  Convolution and pooling use im2col so the
+heavy lifting stays inside NumPy matrix multiplies.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import ArrayLike, Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow",
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "clip",
+    "maximum",
+    "minimum",
+    "matmul",
+    "sum",
+    "mean",
+    "max",
+    "min",
+    "reshape",
+    "transpose",
+    "concat",
+    "stack",
+    "pad2d",
+    "getitem",
+    "relu",
+    "relu6",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "im2col",
+    "col2im",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data + b.data
+    parents = (
+        (a, lambda g: unbroadcast(g, a.shape)),
+        (b, lambda g: unbroadcast(g, b.shape)),
+    )
+    return Tensor._make(out, parents, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data - b.data
+    parents = (
+        (a, lambda g: unbroadcast(g, a.shape)),
+        (b, lambda g: unbroadcast(-g, b.shape)),
+    )
+    return Tensor._make(out, parents, "sub")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data * b.data
+    parents = (
+        (a, lambda g: unbroadcast(g * b.data, a.shape)),
+        (b, lambda g: unbroadcast(g * a.data, b.shape)),
+    )
+    return Tensor._make(out, parents, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data / b.data
+    parents = (
+        (a, lambda g: unbroadcast(g / b.data, a.shape)),
+        (b, lambda g: unbroadcast(-g * a.data / (b.data**2), b.shape)),
+    )
+    return Tensor._make(out, parents, "div")
+
+
+def neg(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    return Tensor._make(-a.data, ((a, lambda g: -g),), "neg")
+
+
+def pow(a: ArrayLike, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    out = a.data**exponent
+    parents = ((a, lambda g: g * exponent * a.data ** (exponent - 1)),)
+    return Tensor._make(out, parents, "pow")
+
+
+def exp(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+    return Tensor._make(out, ((a, lambda g: g * out),), "exp")
+
+
+def log(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.log(a.data)
+    return Tensor._make(out, ((a, lambda g: g / a.data),), "log")
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+    return Tensor._make(out, ((a, lambda g: g * 0.5 / out),), "sqrt")
+
+
+def abs(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.abs(a.data)
+    return Tensor._make(out, ((a, lambda g: g * np.sign(a.data)),), "abs")
+
+
+def clip(a: ArrayLike, low: Optional[float], high: Optional[float]) -> Tensor:
+    a = as_tensor(a)
+    out = np.clip(a.data, low, high)
+    mask = np.ones_like(a.data)
+    if low is not None:
+        mask = mask * (a.data >= low)
+    if high is not None:
+        mask = mask * (a.data <= high)
+    return Tensor._make(out, ((a, lambda g: g * mask),), "clip")
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise max; ties send the full gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    mask_a = (a.data >= b.data).astype(a.data.dtype)
+    parents = (
+        (a, lambda g: unbroadcast(g * mask_a, a.shape)),
+        (b, lambda g: unbroadcast(g * (1.0 - mask_a), b.shape)),
+    )
+    return Tensor._make(out, parents, "maximum")
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise min; ties send the full gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.minimum(a.data, b.data)
+    mask_a = (a.data <= b.data).astype(a.data.dtype)
+    parents = (
+        (a, lambda g: unbroadcast(g * mask_a, a.shape)),
+        (b, lambda g: unbroadcast(g * (1.0 - mask_a), b.shape)),
+    )
+    return Tensor._make(out, parents, "minimum")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data @ b.data
+
+    def grad_a(g: np.ndarray) -> np.ndarray:
+        if b.data.ndim == 1:
+            return unbroadcast(np.multiply.outer(g, b.data), a.shape)
+        return unbroadcast(g @ np.swapaxes(b.data, -1, -2), a.shape)
+
+    def grad_b(g: np.ndarray) -> np.ndarray:
+        if a.data.ndim == 1:
+            return unbroadcast(np.multiply.outer(a.data, g), b.shape)
+        if b.data.ndim == 1:
+            return unbroadcast(
+                (np.swapaxes(a.data, -1, -2) @ g[..., None])[..., 0], b.shape
+            )
+        return unbroadcast(np.swapaxes(a.data, -1, -2) @ g, b.shape)
+
+    return Tensor._make(out, ((a, grad_a), (b, grad_b)), "matmul")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _restore_reduced(g: np.ndarray, shape: Tuple[int, ...], axis, keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(g, shape).astype(g.dtype)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(ax % len(shape) for ax in axes)
+        g = np.expand_dims(g, axes)
+    return np.broadcast_to(g, shape)
+
+
+def sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+    parents = ((a, lambda g: _restore_reduced(g, a.shape, axis, keepdims).copy()),)
+    return Tensor._make(np.asarray(out), parents, "sum")
+
+
+def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+    parents = (
+        (a, lambda g: _restore_reduced(g, a.shape, axis, keepdims) / count),
+    )
+    return Tensor._make(np.asarray(out), parents, "mean")
+
+
+def _extreme(a: ArrayLike, axis, keepdims: bool, kind: str) -> Tensor:
+    a = as_tensor(a)
+    reducer = np.max if kind == "max" else np.min
+    out = reducer(a.data, axis=axis, keepdims=keepdims)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        full = _restore_reduced(np.asarray(g), a.shape, axis, keepdims)
+        out_full = _restore_reduced(np.asarray(out), a.shape, axis, keepdims)
+        mask = (a.data == out_full).astype(a.data.dtype)
+        # Split gradient among ties, matching numpy-based grad checks.
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        counts_full = _restore_reduced(np.asarray(counts), a.shape, axis, True) if axis is not None else counts
+        return full * mask / counts_full
+
+    return Tensor._make(np.asarray(out), ((a, vjp),), kind)
+
+
+def max(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme(a, axis, keepdims, "max")
+
+
+def min(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme(a, axis, keepdims, "min")
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+    parents = ((a, lambda g: g.reshape(a.shape)),)
+    return Tensor._make(out, parents, "reshape")
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+    parents = ((a, lambda g: np.transpose(g, inverse)),)
+    return Tensor._make(out, parents, "transpose")
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_vjp(index: int):
+        start, stop = offsets[index], offsets[index + 1]
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        return vjp
+
+    parents = tuple((t, make_vjp(i)) for i, t in enumerate(tensors))
+    return Tensor._make(out, parents, "concat")
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_vjp(index: int):
+        def vjp(g: np.ndarray) -> np.ndarray:
+            return np.take(g, index, axis=axis)
+
+        return vjp
+
+    parents = tuple((t, make_vjp(i)) for i, t in enumerate(tensors))
+    return Tensor._make(out, parents, "stack")
+
+
+def pad2d(a: ArrayLike, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
+    a = as_tensor(a)
+    if padding == 0:
+        return a
+    p = padding
+    out = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+    parents = ((a, lambda g: g[:, :, p:-p, p:-p]),)
+    return Tensor._make(out, parents, "pad2d")
+
+
+def getitem(a: ArrayLike, index) -> Tensor:
+    a = as_tensor(a)
+    out = a.data[index]
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, g)
+        return full
+
+    return Tensor._make(np.asarray(out), ((a, vjp),), "getitem")
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+def relu(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out = a.data * mask
+    return Tensor._make(out, ((a, lambda g: g * mask),), "relu")
+
+
+def relu6(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    mask = (a.data > 0) & (a.data < 6.0)
+    out = np.clip(a.data, 0.0, 6.0)
+    return Tensor._make(out, ((a, lambda g: g * mask),), "relu6")
+
+
+def leaky_relu(a: ArrayLike, slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out = np.where(mask, a.data, slope * a.data)
+    return Tensor._make(out, ((a, lambda g: g * np.where(mask, 1.0, slope)),), "leaky_relu")
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = 1.0 / (1.0 + np.exp(-a.data))
+    return Tensor._make(out, ((a, lambda g: g * out * (1.0 - out)),), "sigmoid")
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+    return Tensor._make(out, ((a, lambda g: g * (1.0 - out**2)),), "tanh")
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return Tensor._make(out, ((a, vjp),), "softmax")
+
+
+def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    soft = np.exp(out)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._make(out, ((a, vjp),), "log_softmax")
+
+
+def dropout(a: ArrayLike, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    a = as_tensor(a)
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+    out = a.data * mask
+    return Tensor._make(out, ((a, lambda g: g * mask),), "dropout")
+
+
+# ----------------------------------------------------------------------
+# Convolution and pooling via im2col
+# ----------------------------------------------------------------------
+def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold NCHW ``x`` into columns of shape (N, C*k*k, OH*OW)."""
+    n, c, h, w = x.shape
+    oh = _conv_out_size(h, kernel, stride, padding)
+    ow = _conv_out_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2],
+            strides[3],
+            strides[2] * stride,
+            strides[3] * stride,
+        ),
+        writeable=False,
+    )
+    cols = view.reshape(n, c * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back, accumulating overlaps (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    oh = _conv_out_size(h, kernel, stride, padding)
+    ow = _conv_out_size(w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kernel, kernel, oh, ow)
+    for ki in builtins.range(kernel):
+        for kj in builtins.range(kernel):
+            x[:, :, ki : ki + stride * oh : stride, kj : kj + stride * ow : stride] += cols[
+                :, :, ki, kj, :, :
+            ]
+    if padding > 0:
+        return x[:, :, padding:-padding, padding:-padding]
+    return x
+
+
+def conv2d(
+    x: ArrayLike,
+    weight: ArrayLike,
+    bias: Optional[ArrayLike] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` has shape (C_out, C_in // groups, k, k).  ``groups ==
+    C_in == C_out`` gives the depthwise convolution used by MBConv.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, k, _ = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError("channels must be divisible by groups")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_g * groups} input channels, got {c_in}"
+        )
+
+    oh = _conv_out_size(h, k, stride, padding)
+    ow = _conv_out_size(w, k, stride, padding)
+
+    cols, _, _ = im2col(x.data, k, stride, padding)  # (N, C*k*k, L)
+    cols = cols.reshape(n, groups, c_in_g * k * k, oh * ow)
+    w_mat = weight.data.reshape(groups, c_out // groups, c_in_g * k * k)
+    # (g, co_g, ckk) @ (N, g, ckk, L) -> (N, g, co_g, L)
+    out = np.einsum("gof,ngfl->ngol", w_mat, cols, optimize=True)
+    out = out.reshape(n, c_out, oh, ow)
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, groups, c_out // groups, oh * ow)
+        cols_grad = np.einsum("gof,ngol->ngfl", w_mat, g_mat, optimize=True)
+        cols_grad = cols_grad.reshape(n, c_in * k * k, oh * ow)
+        return col2im(cols_grad, x.shape, k, stride, padding)
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, groups, c_out // groups, oh * ow)
+        w_grad = np.einsum("ngol,ngfl->gof", g_mat, cols, optimize=True)
+        return w_grad.reshape(weight.shape)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        bias = as_tensor(bias)
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+
+    return Tensor._make(out, parents, "conv2d")
+
+
+def avg_pool2d(x: ArrayLike, kernel: int, stride: Optional[int] = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data, kernel, stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, oh * ow)
+    out = cols.mean(axis=2).reshape(n, c, oh, ow)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        g_cols = np.broadcast_to(
+            g.reshape(n, c, 1, oh * ow) / (kernel * kernel),
+            (n, c, kernel * kernel, oh * ow),
+        ).reshape(n, c * kernel * kernel, oh * ow)
+        return col2im(np.ascontiguousarray(g_cols), x.shape, kernel, stride, 0)
+
+    return Tensor._make(out, ((x, vjp),), "avg_pool2d")
+
+
+def max_pool2d(x: ArrayLike, kernel: int, stride: Optional[int] = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data, kernel, stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, oh * ow)
+    arg = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    out = out.reshape(n, c, oh, ow)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        g_cols = np.zeros((n, c, kernel * kernel, oh * ow), dtype=g.dtype)
+        np.put_along_axis(g_cols, arg[:, :, None, :], g.reshape(n, c, 1, oh * ow), axis=2)
+        return col2im(g_cols.reshape(n, c * kernel * kernel, oh * ow), x.shape, kernel, stride, 0)
+
+    return Tensor._make(out, ((x, vjp),), "max_pool2d")

@@ -1,0 +1,335 @@
+"""Core :class:`Tensor` type for the reverse-mode autodiff engine.
+
+The graph is built dynamically: each operation returns a new tensor
+whose ``_parents`` holds references to its inputs together with a
+closure computing the local vector-Jacobian product.  ``backward()``
+performs a topological sort and accumulates gradients.
+
+Broadcasting follows NumPy semantics; gradients flowing into a
+broadcast operand are reduced back to the operand's shape by
+:func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff.grad_mode import is_grad_enabled
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode gradient support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op")
+    __array_priority__ = 100  # make numpy defer to our __radd__ etc.
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(_parents) if is_grad_enabled() else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_note})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        out = Tensor(self.data, requires_grad=False)
+        out.data = self.data
+        return out
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction and backward pass
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
+        op: str,
+    ) -> "Tensor":
+        tracked = [(p, fn) for p, fn in parents if p.requires_grad]
+        requires = bool(tracked) and is_grad_enabled()
+        return Tensor(data, requires_grad=requires, _parents=tracked if requires else (), _op=op)
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            # Like torch, only leaves (and the backward root) retain .grad.
+            if not node._parents or node is self:
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            for parent, vjp in node._parents:
+                contribution = vjp(node_grad)
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + contribution
+                else:
+                    grads[id(parent)] = contribution
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators (implementations live in ops.py)
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.sub(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.getitem(self, index)
+
+    # Comparison operators return plain boolean arrays (no gradient).
+    def __gt__(self, other):
+        return self.data > _raw(other)
+
+    def __lt__(self, other):
+        return self.data < _raw(other)
+
+    def __ge__(self, other):
+        return self.data >= _raw(other)
+
+    def __le__(self, other):
+        return self.data <= _raw(other)
+
+    # ------------------------------------------------------------------
+    # Convenience method forms of common ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.min(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        from repro.autodiff import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.transpose(self, axes)
+
+    def exp(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.sqrt(self)
+
+    def abs(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.abs(self)
+
+    def clip(self, low: Optional[float] = None, high: Optional[float] = None) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.clip(self, low, high)
+
+    def relu(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.tanh(self)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.softmax(self, axis=axis)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        from repro.autodiff import ops
+
+        return ops.log_softmax(self, axis=axis)
+
+    def flatten_batch(self) -> "Tensor":
+        """Flatten all dimensions after the first (batch) one."""
+        return self.reshape(self.shape[0], -1)
+
+
+def _raw(value: ArrayLike) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

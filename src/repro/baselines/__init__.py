@@ -1,0 +1,39 @@
+"""Baseline co-exploration methods and the lambda-tuning meta-search.
+
+The baselines mirror the paper's Table 1 / Fig. 3 comparison set:
+
+* :func:`run_nas_then_hw` — plain differentiable NAS followed by an
+  exhaustive Timeloop-style hardware search;
+* :func:`run_dance` — DANCE (differentiable co-exploration, generator +
+  estimator, no hard constraints);
+* :func:`run_dance_soft` — DANCE plus the TF-NAS-style soft penalty;
+* :func:`run_autonba` — Auto-NBA-style joint search with directly
+  trainable hardware parameters instead of a generator network;
+* :func:`run_hdx` — the proposed method.
+
+:class:`MetaSearch` implements Sec. 5.2's control-parameter tuning
+algorithm that unconstrained methods need in order to hit a hard
+constraint (double until feasible, then binary-search down when the
+solution over-shoots below 50% of the target).
+"""
+
+from repro.baselines.methods import (
+    GPU_HOURS_PER_SEARCH,
+    run_autonba,
+    run_dance,
+    run_dance_soft,
+    run_hdx,
+    run_nas_then_hw,
+)
+from repro.baselines.meta_search import MetaSearch, MetaSearchResult
+
+__all__ = [
+    "run_nas_then_hw",
+    "run_dance",
+    "run_dance_soft",
+    "run_autonba",
+    "run_hdx",
+    "GPU_HOURS_PER_SEARCH",
+    "MetaSearch",
+    "MetaSearchResult",
+]

@@ -1,0 +1,128 @@
+"""The control-parameter tuning meta-algorithm of Sec. 5.2.
+
+Unconstrained co-exploration methods cannot target a hard constraint
+directly; a designer must repeatedly re-search while tuning a control
+parameter (lambda_soft, lambda_cost, or a size penalty).  The paper
+formalizes the designer's procedure as a binary-search-like loop and
+charges each method the number of searches (and GPU-hours) it needs
+until the constrained metric lands in [50%, 100%] of the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core import ConstraintSet, SearchResult
+from repro.baselines.methods import GPU_HOURS_PER_SEARCH
+
+#: Accept solutions whose constrained metric is within this fraction of
+#: the target from below (paper: "criteria of having a solution of
+#: 50%~100% of the target constraint").
+LOWER_ACCEPT_FRACTION = 0.5
+
+#: Safety cap: a designer gives up after this many searches.
+MAX_SEARCHES = 12
+
+
+@dataclass
+class MetaSearchResult:
+    """Outcome of the tune-and-repeat procedure for one method."""
+
+    method: str
+    n_searches: int
+    gpu_hours: float
+    final: SearchResult
+    accepted: bool
+    control_values: List[float] = field(default_factory=list)
+
+    @property
+    def final_error(self) -> float:
+        return self.final.error_percent
+
+
+class MetaSearch:
+    """Binary-search-like tuning of a method's control parameter.
+
+    ``search_fn(control_value, seed) -> SearchResult`` runs one search
+    of the underlying method.  ``metric`` names the constrained metric;
+    ``target`` is the hard bound the designer must hit.  Increasing the
+    control value must (stochastically) push the metric down — the
+    procedure doubles it while infeasible and shrinks binary-search
+    style when the solution lands below 50% of the target.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        search_fn: Callable[[float, int], SearchResult],
+        metric: str,
+        target: float,
+        initial_control: float,
+        max_searches: int = MAX_SEARCHES,
+    ) -> None:
+        if target <= 0:
+            raise ValueError("target must be positive")
+        if initial_control <= 0:
+            raise ValueError("initial control value must be positive")
+        self.method = method
+        self.search_fn = search_fn
+        self.metric = metric
+        self.target = target
+        self.initial_control = initial_control
+        self.max_searches = max_searches
+
+    def _accept(self, value: float) -> bool:
+        return LOWER_ACCEPT_FRACTION * self.target <= value <= self.target
+
+    def run(self, seed: int = 0) -> MetaSearchResult:
+        """Execute the tuning loop; each inner search gets a fresh seed
+        (a designer re-runs, they do not replay)."""
+        control = self.initial_control
+        lo: Optional[float] = None  # highest control known to overshoot low
+        hi: Optional[float] = None  # control known to still violate
+        n = 0
+        controls: List[float] = []
+        result: Optional[SearchResult] = None
+        best: Optional[SearchResult] = None
+
+        while n < self.max_searches:
+            controls.append(control)
+            result = self.search_fn(control, seed * 1000 + n)
+            n += 1
+            value = result.metrics.metric(self.metric)
+            if self._accept(value):
+                best = result
+                break
+            if best is None or self._distance(value) < self._distance(
+                best.metrics.metric(self.metric)
+            ):
+                best = result
+            if value > self.target:
+                # Still violating: strengthen the control parameter.
+                hi = control
+                control = control * 2.0 if lo is None else 0.5 * (control + lo)
+            else:
+                # Overshot below 50% of target: weaken it.
+                lo = control
+                control = control * 0.5 if hi is None else 0.5 * (control + hi)
+        assert best is not None
+        accepted = self._accept(best.metrics.metric(self.metric))
+        per_search = GPU_HOURS_PER_SEARCH.get(self.method, 1.85)
+        return MetaSearchResult(
+            method=self.method,
+            n_searches=n,
+            gpu_hours=n * per_search,
+            final=best,
+            accepted=accepted,
+            control_values=controls,
+        )
+
+    def _distance(self, value: float) -> float:
+        """Distance from the acceptance band, for keeping the best try."""
+        low = LOWER_ACCEPT_FRACTION * self.target
+        if value > self.target:
+            return value - self.target
+        if value < low:
+            return low - value
+        return 0.0

@@ -1,0 +1,167 @@
+"""Thin method wrappers around :class:`~repro.core.CoExplorer`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accelerator import cost_hw, exhaustive_search
+from repro.arch import SearchSpace
+from repro.core import CoExplorer, ConstraintSet, SearchConfig, SearchResult
+from repro.estimator import CostEstimator
+from repro.surrogate import AccuracySurrogate
+
+#: GPU-hours per search, matching the per-search costs implied by the
+#: paper's Table 1 (cost / #searches).  Used by the meta-search to
+#: report the "Cost" column.
+GPU_HOURS_PER_SEARCH = {
+    "NAS->HW": 2.18,
+    "Auto-NBA": 1.50,
+    "DANCE": 1.85,
+    "DANCE+Soft": 1.86,
+    "HDX": 2.00,
+}
+
+
+def run_hdx(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    constraints: ConstraintSet,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    p: float = 1e-2,
+    surrogate: Optional[AccuracySurrogate] = None,
+    **overrides,
+) -> SearchResult:
+    """The proposed hard-constrained co-exploration."""
+    config = SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints,
+        hard_constraints=True,
+        p=p,
+        seed=seed,
+        method_name="HDX",
+        **overrides,
+    )
+    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+
+
+def run_dance(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    surrogate: Optional[AccuracySurrogate] = None,
+    **overrides,
+) -> SearchResult:
+    """DANCE: co-exploration without hard constraints.
+
+    ``constraints`` (if given) are only used for reporting whether the
+    found solution happens to satisfy them.
+    """
+    config = SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints or ConstraintSet(),
+        hard_constraints=False,
+        seed=seed,
+        method_name="DANCE",
+        **overrides,
+    )
+    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+
+
+def run_dance_soft(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    constraints: ConstraintSet,
+    soft_lambda: float = 0.5,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    surrogate: Optional[AccuracySurrogate] = None,
+    **overrides,
+) -> SearchResult:
+    """DANCE + soft constraint term ``lambda_soft * max(t/T - 1, 0)``."""
+    config = SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints,
+        hard_constraints=False,
+        soft_lambda=soft_lambda,
+        seed=seed,
+        method_name="DANCE+Soft",
+        **overrides,
+    )
+    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+
+
+def run_autonba(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    soft_lambda: float = 0.0,
+    surrogate: Optional[AccuracySurrogate] = None,
+    **overrides,
+) -> SearchResult:
+    """Auto-NBA-style search: hardware parameters trained directly.
+
+    The hardware/DNN relation is a differentiable lookup (the frozen
+    estimator) and beta is a free parameter rather than a generator
+    output.
+    """
+    config = SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints or ConstraintSet(),
+        hard_constraints=False,
+        soft_lambda=soft_lambda,
+        use_generator=False,
+        seed=seed,
+        method_name="Auto-NBA",
+        **overrides,
+    )
+    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+
+
+def run_nas_then_hw(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    size_penalty_lambda: float = 0.0,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    surrogate: Optional[AccuracySurrogate] = None,
+    **overrides,
+) -> SearchResult:
+    """Plain NAS, then exhaustive accelerator search.
+
+    The NAS phase optionally carries a differentiable size penalty
+    (the control parameter the meta-search tunes); the hardware phase
+    brute-forces the full design space against Cost_HW, preferring
+    configurations satisfying the constraints when any exist.
+    """
+    config = SearchConfig(
+        include_cost_term=False,
+        hard_constraints=False,
+        size_penalty_lambda=size_penalty_lambda,
+        constraints=constraints or ConstraintSet(),
+        seed=seed,
+        method_name="NAS->HW",
+        **overrides,
+    )
+    explorer = CoExplorer(space, estimator, config, surrogate=surrogate)
+    result = explorer.search()
+    bounds = {c.metric: c.bound for c in (constraints or ConstraintSet())}
+    hw_config, metrics = exhaustive_search(
+        result.arch, objective=cost_hw, constraints=bounds or None
+    )
+    return SearchResult(
+        arch=result.arch,
+        config=hw_config,
+        metrics=metrics,
+        error_percent=result.error_percent,
+        loss_nas=result.loss_nas,
+        cost=cost_hw(metrics),
+        constraints=constraints or ConstraintSet(),
+        in_constraint=(constraints or ConstraintSet()).all_satisfied(metrics),
+        history=result.history,
+        method="NAS->HW",
+    )

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro search     --space cifar10 --latency 16.6 [...]
+    python -m repro evaluate   --result out.json
+    python -m repro report     --result out.json
+    python -m repro hwsearch   --space cifar10 --indices 0,1,2,...
+    python -m repro experiment --name fig1|table1|fig3|table2|fig4|table3|fig5
+
+``search`` runs an HDX (or baseline) co-exploration and writes the
+result JSON; ``evaluate``/``report`` re-check a saved result against
+the analytical ground truth; ``experiment`` regenerates a paper
+table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accelerator import cost_hw, evaluate_network, exhaustive_search
+from repro.arch import NetworkArch
+from repro.core import ConstraintSet
+from repro.baselines import run_autonba, run_dance, run_dance_soft, run_hdx
+from repro.serialize import (
+    arch_from_dict,
+    load_result,
+    save_result,
+    space_by_name,
+)
+
+_METHODS = {
+    "hdx": run_hdx,
+    "dance": run_dance,
+    "dance-soft": run_dance_soft,
+    "auto-nba": run_autonba,
+}
+
+
+def _add_constraint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--latency", type=float, help="latency bound in ms")
+    parser.add_argument("--energy", type=float, help="energy bound in mJ")
+    parser.add_argument("--area", type=float, help="area bound in mm2")
+
+
+def _constraints_from(args) -> ConstraintSet:
+    bounds = {}
+    for metric in ("latency", "energy", "area"):
+        value = getattr(args, metric, None)
+        if value is not None:
+            bounds[metric] = value
+    return ConstraintSet.from_dict(bounds)
+
+
+def cmd_search(args) -> int:
+    from repro.experiments.common import get_estimator, get_space
+
+    space = get_space(args.space)
+    estimator = get_estimator(args.space)
+    constraints = _constraints_from(args)
+    if args.method == "hdx":
+        if not constraints:
+            print("error: hdx requires at least one constraint", file=sys.stderr)
+            return 2
+        result = run_hdx(
+            space, estimator, constraints, lambda_cost=args.lambda_cost,
+            seed=args.seed, epochs=args.epochs,
+        )
+    elif args.method == "dance":
+        result = run_dance(
+            space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
+            constraints=constraints, epochs=args.epochs,
+        )
+    elif args.method == "dance-soft":
+        result = run_dance_soft(
+            space, estimator, constraints, lambda_cost=args.lambda_cost,
+            seed=args.seed, epochs=args.epochs,
+        )
+    else:
+        result = run_autonba(
+            space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
+            constraints=constraints, epochs=args.epochs,
+        )
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}")
+    return 0 if (not constraints or result.in_constraint) else 1
+
+
+def cmd_evaluate(args) -> int:
+    result = load_result(args.result)
+    truth = evaluate_network(result.arch, result.config)
+    print(f"stored : {result.metrics}")
+    print(f"oracle : {truth}")
+    print(f"cost_hw: {cost_hw(truth):.2f}")
+    if result.constraints:
+        ok = result.constraints.all_satisfied(truth)
+        print(f"constraints ({result.constraints}): {'satisfied' if ok else 'VIOLATED'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.accelerator.report import report_network
+
+    result = load_result(args.result)
+    print(report_network(result.arch, result.config).render())
+    return 0
+
+
+def cmd_hwsearch(args) -> int:
+    space = space_by_name(args.space)
+    indices = [int(x) for x in args.indices.split(",")]
+    arch = arch_from_dict({"space": args.space, "indices": indices}, space)
+    constraints = _constraints_from(args)
+    bounds = {c.metric: c.bound for c in constraints}
+    config, metrics = exhaustive_search(arch, constraints=bounds or None)
+    print(f"best config: {config}")
+    print(f"metrics    : {metrics} (cost_hw {cost_hw(metrics):.2f})")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro import experiments
+
+    runners = {
+        "fig1": (experiments.run_fig1, experiments.render_fig1),
+        "table1": (experiments.run_table1, experiments.render_table1),
+        "fig3": (experiments.run_fig3, experiments.render_fig3),
+        "table2": (experiments.run_table2, experiments.render_table2),
+        "fig4": (experiments.run_fig4, experiments.render_fig4),
+        "table3": (experiments.run_table3, experiments.render_table3),
+        "fig5": (experiments.run_fig5, experiments.render_fig5),
+    }
+    run, render = runners[args.name]
+    print(render(run()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HDX co-exploration toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="run a co-exploration")
+    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    p.add_argument("--method", choices=sorted(_METHODS), default="hdx")
+    p.add_argument("--lambda-cost", dest="lambda_cost", type=float, default=0.003)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epochs", type=int, default=150)
+    p.add_argument("--output", help="write result JSON here")
+    _add_constraint_args(p)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("evaluate", help="re-check a saved result")
+    p.add_argument("--result", required=True)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("report", help="per-layer mapping report of a saved result")
+    p.add_argument("--result", required=True)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("hwsearch", help="exhaustive accelerator search for a fixed network")
+    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    p.add_argument("--indices", required=True, help="comma-separated choice indices")
+    _add_constraint_args(p)
+    p.set_defaults(func=cmd_hwsearch)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("--name", required=True,
+                   choices=("fig1", "table1", "fig3", "table2", "fig4", "table3", "fig5"))
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""HDX core: hard-constrained differentiable co-exploration.
+
+The package implements the paper's contribution (Sec. 4):
+
+* :mod:`repro.core.constraints` — hard-constraint definitions and the
+  constraint loss ``Const = sum_i max(t_i - T_i, 0)`` (Eqs. 5/9);
+* :mod:`repro.core.gradmanip` — the conditional gradient manipulation
+  and minimum-norm correction ``m*`` (Eqs. 4/7/8);
+* :mod:`repro.core.delta` — the delta schedule driven by the pulling
+  magnitude ``p`` (grow by ``1+p`` while violated, reset on success);
+* :mod:`repro.core.coexplore` — the co-exploration loop tying the
+  supernet / surrogate, generator, and estimator together.
+"""
+
+from repro.core.constraints import Constraint, ConstraintSet
+from repro.core.delta import DeltaPolicy
+from repro.core.gradmanip import (
+    flatten_gradients,
+    manipulate_gradient,
+    minimum_norm_correction,
+    unflatten_gradient,
+)
+from repro.core.coexplore import CoExplorer, SearchConfig
+from repro.core.result import EpochRecord, SearchResult
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "DeltaPolicy",
+    "manipulate_gradient",
+    "minimum_norm_correction",
+    "flatten_gradients",
+    "unflatten_gradient",
+    "CoExplorer",
+    "SearchConfig",
+    "SearchResult",
+    "EpochRecord",
+]

@@ -1,0 +1,107 @@
+"""Hard-constraint definitions and the differentiable constraint loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.accelerator import HardwareMetrics
+from repro.accelerator.cost import REFERENCE_SCALES
+from repro.autodiff import Tensor, ops
+from repro.estimator.estimator import METRIC_INDEX
+
+_METRIC_REF = {
+    "latency": REFERENCE_SCALES["latency_ms"],
+    "energy": REFERENCE_SCALES["energy_mj"],
+    "area": REFERENCE_SCALES["area_mm2"],
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A hard upper bound on one hardware metric.
+
+    ``metric`` is 'latency' (ms), 'energy' (mJ), or 'area' (mm^2);
+    ``bound`` is the target value ``T`` of Eq. 2.
+    """
+
+    metric: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRIC_INDEX:
+            raise ValueError(f"unknown metric {self.metric!r}")
+        if self.bound <= 0:
+            raise ValueError("constraint bound must be positive")
+
+    def violation(self, value: float) -> float:
+        """Raw violation ``max(t - T, 0)`` for a measured value."""
+        return max(value - self.bound, 0.0)
+
+    def satisfied_by(self, metrics: HardwareMetrics) -> bool:
+        return metrics.metric(self.metric) <= self.bound
+
+    def __str__(self) -> str:
+        unit = {"latency": "ms", "energy": "mJ", "area": "mm2"}[self.metric]
+        return f"{self.metric} <= {self.bound:g} {unit}"
+
+
+class ConstraintSet:
+    """An (possibly empty) collection of hard constraints (Eqs. 8/9)."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self.constraints: List[Constraint] = list(constraints)
+
+    @classmethod
+    def latency(cls, bound_ms: float) -> "ConstraintSet":
+        return cls([Constraint("latency", bound_ms)])
+
+    @classmethod
+    def from_dict(cls, bounds: Dict[str, float]) -> "ConstraintSet":
+        return cls([Constraint(m, b) for m, b in bounds.items()])
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self.constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self.constraints)
+
+    # ------------------------------------------------------------------
+    def constraint_loss(self, predicted_metrics: Tensor) -> Tensor:
+        """Differentiable ``Const = sum_i max(t_i - T_i, 0)`` (Eq. 9).
+
+        ``predicted_metrics`` is the estimator's (latency, energy, area)
+        3-vector.  Each term is normalized by the metric's reference
+        scale so multi-constraint gradients are comparable.
+        """
+        terms = []
+        for constraint in self.constraints:
+            index = METRIC_INDEX[constraint.metric]
+            t = predicted_metrics[np.array([index])].reshape(())
+            excess = ops.maximum(t - constraint.bound, 0.0)
+            terms.append(excess * (1.0 / _METRIC_REF[constraint.metric]))
+        if not terms:
+            return Tensor(0.0)
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total
+
+    def violated(self, values: Sequence[float]) -> bool:
+        """True when any constraint is exceeded by the (lat, E, A) values."""
+        return any(
+            values[METRIC_INDEX[c.metric]] > c.bound for c in self.constraints
+        )
+
+    def all_satisfied(self, metrics: HardwareMetrics) -> bool:
+        return all(c.satisfied_by(metrics) for c in self.constraints)
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "unconstrained"
+        return " & ".join(str(c) for c in self.constraints)

@@ -1,0 +1,36 @@
+"""The delta schedule controlling the pulling magnitude (Sec. 4.3).
+
+delta starts at ``delta0``; every step where the target metric still
+violates the constraint multiplies it by ``(1 + p)``; once the
+constraint is satisfied it resets to ``delta0``.  ``p`` is the paper's
+only hyper-parameter (default 1e-2, studied in Fig. 4).
+"""
+
+from __future__ import annotations
+
+
+class DeltaPolicy:
+    """Stateful delta update rule."""
+
+    def __init__(self, delta0: float = 1e-4, p: float = 1e-2) -> None:
+        if delta0 <= 0:
+            raise ValueError("delta0 must be positive")
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self.delta0 = float(delta0)
+        self.p = float(p)
+        self.delta = float(delta0)
+
+    def update(self, violated: bool) -> float:
+        """Advance one step; returns the delta to use next."""
+        if violated:
+            self.delta *= 1.0 + self.p
+        else:
+            self.delta = self.delta0
+        return self.delta
+
+    def reset(self) -> None:
+        self.delta = self.delta0
+
+    def __repr__(self) -> str:
+        return f"DeltaPolicy(delta={self.delta:.3e}, p={self.p})"

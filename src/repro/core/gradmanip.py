@@ -1,0 +1,95 @@
+"""Gradient manipulation — Eqs. 4, 7, and 8 of the paper.
+
+When the constrained metric violates its target and the global-loss
+gradient ``g_loss`` disagrees with the constraint gradient ``g_const``
+(negative dot product), we add the minimum-norm correction
+
+    m* = -((g_loss . g_const) + delta) / ||g_const||^2 * g_const
+
+which guarantees ``(m* + g_loss) . g_const = delta >= 0`` — i.e. the
+gradient-descent step reduces the constraint violation by at least a
+margin controlled by ``delta`` — while perturbing ``g_loss`` as little
+as possible (pseudoinverse / least-squares solution).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def flatten_gradients(grads: Sequence[Optional[np.ndarray]], like: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate per-parameter gradients into one vector.
+
+    ``like`` provides shapes for parameters whose gradient is None
+    (treated as zeros).
+    """
+    parts = []
+    for grad, ref in zip(grads, like):
+        parts.append(np.zeros_like(ref).reshape(-1) if grad is None else grad.reshape(-1))
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def unflatten_gradient(flat: np.ndarray, like: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Split a flat vector back into per-parameter arrays."""
+    out = []
+    offset = 0
+    for ref in like:
+        n = ref.size
+        out.append(flat[offset : offset + n].reshape(ref.shape))
+        offset += n
+    if offset != flat.size:
+        raise ValueError("flat gradient size does not match parameter sizes")
+    return out
+
+
+def minimum_norm_correction(
+    g_loss: np.ndarray,
+    g_const: np.ndarray,
+    delta: float,
+    max_norm: Optional[float] = None,
+) -> np.ndarray:
+    """The pseudoinverse solution ``m*`` of Eq. 7.
+
+    ``max_norm`` optionally caps ``||m*||_2``: when ``g_const`` is tiny
+    (e.g. flowing through a saturated softmax) the exact solution
+    explodes; the capped correction keeps the same direction, trading
+    the per-step guarantee for stability.
+    """
+    norm_sq = float(g_const @ g_const)
+    if norm_sq <= 1e-30:
+        return np.zeros_like(g_loss)
+    dot = float(g_loss @ g_const)
+    correction = (-(dot) + delta) / norm_sq * g_const
+    if max_norm is not None:
+        norm = float(np.linalg.norm(correction))
+        if norm > max_norm:
+            correction = correction * (max_norm / norm)
+    return correction
+
+
+def manipulate_gradient(
+    g_loss: np.ndarray,
+    g_const: np.ndarray,
+    violated: bool,
+    delta: float,
+    max_norm: Optional[float] = None,
+    force: bool = False,
+) -> Tuple[np.ndarray, bool]:
+    """Apply Eq. 4 / Eq. 8: returns (gradient, manipulation_applied).
+
+    * constraint satisfied  -> ``g_loss`` unchanged;
+    * violated but agreeing (``g_loss . g_const >= 0``) -> unchanged;
+    * violated and disagreeing -> ``m* + g_loss``.
+
+    ``force=True`` skips the agreement shortcut (ablation: apply the
+    correction on every violated step regardless of the dot product).
+    """
+    if not violated:
+        return g_loss, False
+    dot = float(g_loss @ g_const)
+    if dot >= 0.0 and not force:
+        return g_loss, False
+    correction = minimum_norm_correction(g_loss, g_const, delta, max_norm=max_norm)
+    return g_loss + correction, True

@@ -1,0 +1,55 @@
+"""Search result and history records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.accelerator import AcceleratorConfig, HardwareMetrics
+from repro.arch import NetworkArch
+from repro.core.constraints import ConstraintSet
+
+
+@dataclass
+class EpochRecord:
+    """One co-exploration epoch of telemetry (drives Fig. 4)."""
+
+    epoch: int
+    loss_nas: float
+    cost_hw: float
+    global_loss: float
+    predicted_latency_ms: float
+    predicted_energy_mj: float
+    predicted_area_mm2: float
+    delta: float
+    violated: bool
+    manipulated_alpha: bool
+    manipulated_v: bool
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one co-exploration run.
+
+    ``metrics`` are ground-truth values from the analytical oracle
+    (the paper's "direct evaluation from Timeloop and Accelergy"),
+    never the estimator's predictions.
+    """
+
+    arch: NetworkArch
+    config: AcceleratorConfig
+    metrics: HardwareMetrics
+    error_percent: float
+    loss_nas: float
+    cost: float
+    constraints: ConstraintSet
+    in_constraint: bool
+    history: List[EpochRecord] = field(default_factory=list)
+    method: str = "HDX"
+
+    def summary(self) -> str:
+        flag = "OK " if self.in_constraint else "VIOL"
+        return (
+            f"[{self.method}] {flag} {self.metrics} | err {self.error_percent:.2f}% "
+            f"| cost {self.cost:.2f} | loss {self.loss_nas:.3f} | {self.config}"
+        )

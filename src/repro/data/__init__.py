@@ -1,0 +1,20 @@
+"""Synthetic image-classification datasets (CIFAR/ImageNet substitutes).
+
+Real CIFAR-10/ImageNet are unavailable offline, so these generators
+produce class-conditional textured images that a small convolutional
+network can learn but a linear model cannot master — preserving the
+accuracy-vs-capacity trade-off that drives the NAS loss.
+"""
+
+from repro.data.synthetic import SyntheticImageDataset, cifar10_like, imagenet_like
+from repro.data.loader import DataLoader, train_val_split
+from repro.data.augment import RandomAugment
+
+__all__ = [
+    "SyntheticImageDataset",
+    "cifar10_like",
+    "imagenet_like",
+    "DataLoader",
+    "train_val_split",
+    "RandomAugment",
+]

@@ -1,0 +1,51 @@
+"""Train-time augmentation — AutoAugment substitute.
+
+The paper augments with AutoAugment policies; offline we compose the
+standard primitives those policies are built from (flip, shifted crop,
+cutout, brightness jitter) with random strengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomAugment:
+    """Randomly composed augmentation applied to an NCHW batch."""
+
+    def __init__(
+        self,
+        flip_prob: float = 0.5,
+        max_shift: int = 2,
+        cutout_size: int = 4,
+        cutout_prob: float = 0.5,
+        brightness: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        self.flip_prob = flip_prob
+        self.max_shift = max_shift
+        self.cutout_size = cutout_size
+        self.cutout_prob = cutout_prob
+        self.brightness = brightness
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        rng = self._rng
+        out = images.copy()
+        n, _, h, w = out.shape
+        for i in range(n):
+            if rng.random() < self.flip_prob:
+                out[i] = out[i, :, :, ::-1]
+            if self.max_shift > 0:
+                dy, dx = rng.integers(-self.max_shift, self.max_shift + 1, size=2)
+                out[i] = np.roll(np.roll(out[i], dy, axis=1), dx, axis=2)
+            if self.cutout_size > 0 and rng.random() < self.cutout_prob:
+                cy = rng.integers(0, h)
+                cx = rng.integers(0, w)
+                half = self.cutout_size // 2
+                y0, y1 = max(0, cy - half), min(h, cy + half)
+                x0, x1 = max(0, cx - half), min(w, cx + half)
+                out[i, :, y0:y1, x0:x1] = 0.0
+            if self.brightness > 0:
+                out[i] += rng.uniform(-self.brightness, self.brightness)
+        return out

@@ -1,0 +1,71 @@
+"""Mini-batch iteration and dataset splitting."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.data.augment import RandomAugment
+
+
+def train_val_split(
+    dataset: SyntheticImageDataset,
+    val_fraction: float = 0.5,
+    seed: int = 0,
+) -> Tuple[SyntheticImageDataset, SyntheticImageDataset]:
+    """Shuffle and split into train/validation subsets.
+
+    Differentiable NAS uses the train split for supernet weights ``w``
+    and the validation split for architecture parameters ``alpha``.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    n_val = int(len(dataset) * val_fraction)
+    return dataset.subset(order[n_val:]), dataset.subset(order[:n_val])
+
+
+class DataLoader:
+    """Shuffling mini-batch iterator with optional augmentation."""
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        augment: Optional[RandomAugment] = None,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = (
+            self._rng.permutation(len(self.dataset))
+            if self.shuffle
+            else np.arange(len(self.dataset))
+        )
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            images = self.dataset.images[idx]
+            if self.augment is not None:
+                images = self.augment(images)
+            yield images, self.dataset.labels[idx]

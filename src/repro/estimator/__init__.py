@@ -1,0 +1,31 @@
+"""Learned hardware cost models: the estimator and the generator.
+
+Following DANCE/HDX, the differentiable evaluator ``eval(alpha, beta)``
+is a composition of two residual MLPs:
+
+* :class:`CostEstimator` ``est(alpha, beta) -> (latency, energy, area)``
+  — pre-trained on pairs sampled from the analytical ground truth
+  (our Timeloop/Accelergy substitute), then frozen during search.
+* :class:`HardwareGenerator` ``gen(v, alpha) -> beta`` — maps a network
+  encoding to a relaxed accelerator configuration; jointly trained
+  during co-exploration so it adapts to the active cost/constraints.
+"""
+
+from repro.estimator.dataset import CostDataset, build_cost_dataset
+from repro.estimator.estimator import CostEstimator
+from repro.estimator.generator import HardwareGenerator
+from repro.estimator.training import (
+    estimator_accuracy,
+    pretrain_estimator,
+    train_estimator,
+)
+
+__all__ = [
+    "CostDataset",
+    "build_cost_dataset",
+    "CostEstimator",
+    "HardwareGenerator",
+    "train_estimator",
+    "pretrain_estimator",
+    "estimator_accuracy",
+]

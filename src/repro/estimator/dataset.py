@@ -1,0 +1,80 @@
+"""Sampling network/accelerator pairs for estimator pre-training.
+
+The paper samples 10.8 M pairs and evaluates them with Timeloop +
+Accelergy; we sample a few thousand (the analytical oracle is smooth,
+so far fewer samples suffice) and evaluate them with
+:func:`repro.accelerator.evaluate_network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.accelerator import DesignSpace, evaluate_network
+from repro.arch import NetworkArch, SearchSpace
+from repro.arch.encoding import extended_feature_dim, extended_features_from_indices
+
+
+@dataclass
+class CostDataset:
+    """Feature/target arrays plus the normalization statistics.
+
+    Targets are regressed in log-space: hardware metrics are positive
+    and span an order of magnitude, and log-space training makes the
+    model's *relative* error uniform — which is what constraint
+    checking cares about.
+    """
+
+    features: np.ndarray  # (N, arch_dim + 6)
+    targets: np.ndarray  # (N, 3) raw (latency_ms, energy_mj, area_mm2)
+    target_mean: np.ndarray  # mean of log(targets)
+    target_std: np.ndarray  # std of log(targets)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def normalized_targets(self) -> np.ndarray:
+        return (np.log(self.targets) - self.target_mean) / self.target_std
+
+    def denormalize(self, normalized: np.ndarray) -> np.ndarray:
+        return np.exp(normalized * self.target_std + self.target_mean)
+
+    def split(self, val_fraction: float = 0.1, seed: int = 0) -> Tuple["CostDataset", "CostDataset"]:
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        n_val = int(len(self) * val_fraction)
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        return (
+            CostDataset(self.features[train_idx], self.targets[train_idx],
+                        self.target_mean, self.target_std),
+            CostDataset(self.features[val_idx], self.targets[val_idx],
+                        self.target_mean, self.target_std),
+        )
+
+
+def build_cost_dataset(
+    space: SearchSpace,
+    n_samples: int = 4000,
+    seed: int = 0,
+) -> CostDataset:
+    """Sample (network, accelerator) pairs and evaluate ground truth."""
+    rng = np.random.default_rng(seed)
+    design_space = DesignSpace()
+    dim = extended_feature_dim(space) + 6
+    features = np.empty((n_samples, dim))
+    targets = np.empty((n_samples, 3))
+    for i in range(n_samples):
+        arch = NetworkArch.random(space, rng)
+        config = design_space.sample(rng)
+        metrics = evaluate_network(arch, config)
+        features[i] = np.concatenate(
+            [extended_features_from_indices(space, arch.to_indices()), config.to_vector()]
+        )
+        targets[i] = metrics.as_tuple()
+    log_targets = np.log(targets)
+    mean = log_targets.mean(axis=0)
+    std = log_targets.std(axis=0) + 1e-12
+    return CostDataset(features, targets, mean, std)

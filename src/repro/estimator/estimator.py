@@ -1,0 +1,86 @@
+"""The frozen cost estimator ``est(alpha, beta)``.
+
+A five-layer residual MLP (paper Sec. 4.4) mapping the concatenated
+architecture encoding and relaxed accelerator vector to normalized
+(latency, energy, area).  After pre-training it is frozen; during
+search it only provides gradients to ``alpha`` and to the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.autodiff import Tensor, ops
+from repro.arch import SearchSpace
+from repro.arch.encoding import extended_feature_dim
+
+METRIC_INDEX = {"latency": 0, "energy": 1, "area": 2}
+
+
+class CostEstimator(nn.Module):
+    """Residual-MLP estimator of hardware metrics."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        width: int = 96,
+        n_layers: int = 5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.space = space
+        in_dim = extended_feature_dim(space) + 6
+        self.mlp = nn.ResidualMLP(
+            in_dim, 3, width=width, n_layers=n_layers, rng=np.random.default_rng(seed)
+        )
+        # Target normalization, set by training.
+        self.target_mean = np.zeros(3)
+        self.target_std = np.ones(3)
+        self.frozen = False
+
+    def _buffers(self):
+        return {"target_mean": self.target_mean, "target_std": self.target_std}
+
+    def set_normalization(self, mean: np.ndarray, std: np.ndarray) -> None:
+        self.target_mean[...] = mean
+        self.target_std[...] = std
+
+    def freeze(self) -> None:
+        """Stop gradient updates to the estimator (post pre-training)."""
+        self.frozen = True
+        for p in self.parameters():
+            p.requires_grad = False
+
+    # ------------------------------------------------------------------
+    def forward(self, features: Tensor) -> Tensor:
+        """Normalized metric predictions, shape (N, 3) or (3,)."""
+        return self.mlp(features)
+
+    def predict_metrics(self, arch_features: Tensor, accel_vector: Tensor) -> Tensor:
+        """Denormalized (latency_ms, energy_mj, area_mm2), differentiable.
+
+        Accepts 1-D inputs (a single design point); returns a 3-vector.
+        The network regresses log-metrics, so the decode exponentiates.
+        """
+        features = ops.concat([arch_features, accel_vector], axis=0)
+        normalized = self.forward(features.reshape(1, -1)).reshape(-1)
+        return (normalized * self.target_std + self.target_mean).exp()
+
+    def predict_metric(
+        self, arch_features: Tensor, accel_vector: Tensor, name: str
+    ) -> Tensor:
+        """Single named metric as a scalar tensor."""
+        metrics = self.predict_metrics(arch_features, accel_vector)
+        index = METRIC_INDEX[name]
+        return metrics[np.array([index])].reshape(())
+
+    def predict_numpy(self, features: np.ndarray) -> np.ndarray:
+        """Batch prediction without graph construction (evaluation)."""
+        from repro.autodiff import no_grad
+
+        with no_grad():
+            normalized = self.forward(Tensor(features)).data
+        return np.exp(normalized * self.target_std + self.target_mean)

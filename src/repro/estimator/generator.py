@@ -1,0 +1,52 @@
+"""The hardware generator ``gen(v, alpha)``.
+
+A five-layer residual MLP mapping the architecture encoding to a
+relaxed accelerator vector: three sigmoid outputs (rows, cols, RF) and
+a three-way softmax over dataflows.  It is randomly initialized and
+jointly trained during co-exploration (paper Sec. 4.4), so it adapts
+to whatever cost function and constraints are active.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator import AcceleratorConfig
+from repro.autodiff import Tensor, no_grad, ops
+from repro.arch import SearchSpace
+from repro.arch.encoding import arch_feature_dim
+
+
+class HardwareGenerator(nn.Module):
+    """Residual-MLP generator of relaxed accelerator configurations."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        width: int = 64,
+        n_layers: int = 5,
+        seed: int = 1,
+    ) -> None:
+        super().__init__()
+        self.space = space
+        self.mlp = nn.ResidualMLP(
+            arch_feature_dim(space),
+            AcceleratorConfig.vector_dim(),
+            width=width,
+            n_layers=n_layers,
+            rng=np.random.default_rng(seed),
+        )
+
+    def forward(self, arch_features: Tensor) -> Tensor:
+        """Relaxed accelerator vector (6,), differentiable."""
+        raw = self.mlp(arch_features.reshape(1, -1)).reshape(-1)
+        size_part = ops.sigmoid(raw[np.arange(3)])
+        dataflow_part = ops.softmax(raw[np.arange(3, 6)], axis=-1)
+        return ops.concat([size_part, dataflow_part], axis=0)
+
+    def discretize(self, arch_features: Tensor) -> AcceleratorConfig:
+        """Snap the generator output to the nearest discrete design."""
+        with no_grad():
+            vector = self.forward(arch_features.detach()).data
+        return AcceleratorConfig.from_vector(vector)

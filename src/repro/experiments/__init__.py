@@ -1,0 +1,35 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each driver exposes a ``run_*`` function returning plain data rows plus
+a ``render_*`` helper producing the table/series the paper reports.
+The benchmark harness under ``benchmarks/`` calls these drivers.
+"""
+
+from repro.experiments.common import get_estimator, get_surrogate, format_table
+from repro.experiments.fig1 import run_fig1, render_fig1
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.fig3 import run_fig3, render_fig3
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.fig4 import run_fig4, render_fig4
+from repro.experiments.table3 import run_table3, render_table3
+from repro.experiments.fig5 import run_fig5, render_fig5
+
+__all__ = [
+    "get_estimator",
+    "get_surrogate",
+    "format_table",
+    "run_fig1",
+    "render_fig1",
+    "run_table1",
+    "render_table1",
+    "run_fig3",
+    "render_fig3",
+    "run_table2",
+    "render_table2",
+    "run_fig4",
+    "render_fig4",
+    "run_table3",
+    "render_table3",
+    "run_fig5",
+    "render_fig5",
+]

@@ -1,0 +1,111 @@
+"""Shared experiment plumbing: estimator cache and table rendering."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch import SearchSpace, cifar_space, imagenet_space
+from repro.estimator import CostEstimator, pretrain_estimator
+from repro.surrogate import AccuracySurrogate
+
+_ESTIMATORS: Dict[str, CostEstimator] = {}
+_SURROGATES: Dict[str, AccuracySurrogate] = {}
+_SPACES: Dict[str, SearchSpace] = {}
+
+#: On-disk cache directory for pre-trained estimators (pre-training
+#: takes ~30 s; experiments re-use it).
+CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache")
+)
+
+
+def get_space(name: str) -> SearchSpace:
+    """Memoized search space ('cifar10' or 'imagenet')."""
+    if name not in _SPACES:
+        _SPACES[name] = cifar_space() if name == "cifar10" else imagenet_space()
+    return _SPACES[name]
+
+
+def _cache_path(name: str) -> str:
+    return os.path.join(CACHE_DIR, f"estimator_{name}.npz")
+
+
+def get_estimator(space_name: str = "cifar10", seed: int = 0) -> CostEstimator:
+    """Pre-trained, frozen cost estimator for a named space.
+
+    Cached in-process and on disk; delete ``.cache/`` to force
+    re-training (necessary after changing the analytical cost model).
+    """
+    if space_name in _ESTIMATORS:
+        return _ESTIMATORS[space_name]
+    space = get_space(space_name)
+    path = _cache_path(space_name)
+    estimator = CostEstimator(space, width=128, seed=seed)
+    if os.path.exists(path):
+        archive = np.load(path)
+        estimator.load_state_dict({k: archive[k] for k in archive.files})
+        estimator.freeze()
+    else:
+        estimator = pretrain_estimator(space, seed=seed, estimator=estimator)
+        os.makedirs(CACHE_DIR, exist_ok=True)
+        np.savez(path, **estimator.state_dict())
+    _ESTIMATORS[space_name] = estimator
+    return estimator
+
+
+def get_surrogate(space_name: str = "cifar10") -> AccuracySurrogate:
+    """Canonical accuracy surrogate for a named space."""
+    if space_name not in _SURROGATES:
+        _SURROGATES[space_name] = AccuracySurrogate(get_space(space_name), seed=0)
+    return _SURROGATES[space_name]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table (the offline stand-in for paper figures)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    labels: Sequence[str],
+    width: int = 60,
+    height: int = 18,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Minimal ASCII scatter plot used by figure renderers."""
+    if not xs:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, label in zip(xs, ys, labels):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = label[0]
+    lines = ["".join(row) for row in grid]
+    lines.append(f"{x_name}: [{x_lo:.2f}, {x_hi:.2f}]  {y_name}: [{y_lo:.2f}, {y_hi:.2f}]")
+    return "\n".join(lines)

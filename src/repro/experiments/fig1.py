@@ -1,0 +1,88 @@
+"""Figure 1 — motivational lambda_cost sweep.
+
+The paper sweeps lambda_cost from 0.001 to 0.010 (three searches per
+value) with a DANCE-style co-exploration and shows that latency/energy
+and error respond to lambda inconsistently: a rough trend buried in
+per-search variance, which is why tuning lambda cannot reliably hit a
+hard constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.baselines import run_dance
+from repro.experiments.common import ascii_scatter, format_table, get_estimator, get_space
+
+
+@dataclass
+class Fig1Row:
+    lambda_cost: float
+    seed: int
+    latency_ms: float
+    energy_mj: float
+    error_percent: float
+
+
+def run_fig1(
+    lambdas=(0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.010),
+    seeds_per_lambda: int = 3,
+    epochs: int = 150,
+) -> List[Fig1Row]:
+    """Run the sweep; returns one row per (lambda, seed)."""
+    space = get_space("cifar10")
+    estimator = get_estimator("cifar10")
+    rows: List[Fig1Row] = []
+    for lam in lambdas:
+        for seed in range(seeds_per_lambda):
+            result = run_dance(
+                space, estimator, lambda_cost=lam, seed=hash((lam, seed)) % 10000,
+                epochs=epochs,
+            )
+            rows.append(
+                Fig1Row(
+                    lambda_cost=lam,
+                    seed=seed,
+                    latency_ms=result.metrics.latency_ms,
+                    energy_mj=result.metrics.energy_mj,
+                    error_percent=result.error_percent,
+                )
+            )
+    return rows
+
+
+def render_fig1(rows: List[Fig1Row]) -> str:
+    """ASCII rendition of the two panels plus the aggregate table."""
+    by_lambda = {}
+    for row in rows:
+        by_lambda.setdefault(row.lambda_cost, []).append(row)
+    table_rows = []
+    for lam in sorted(by_lambda):
+        group = by_lambda[lam]
+        lats = [r.latency_ms for r in group]
+        errs = [r.error_percent for r in group]
+        ens = [r.energy_mj for r in group]
+        table_rows.append(
+            [
+                f"{lam:.3f}",
+                f"{np.mean(lats):.1f} +/- {np.std(lats):.1f}",
+                f"{np.mean(ens):.1f} +/- {np.std(ens):.1f}",
+                f"{np.mean(errs):.2f} +/- {np.std(errs):.2f}",
+            ]
+        )
+    table = format_table(
+        ["lambda", "latency (ms)", "energy (mJ)", "error (%)"],
+        table_rows,
+        title="Fig. 1: lambda_cost sweep (DANCE-style search, 3 seeds each)",
+    )
+    scatter = ascii_scatter(
+        [r.latency_ms for r in rows],
+        [r.error_percent for r in rows],
+        ["o"] * len(rows),
+        x_name="latency (ms)",
+        y_name="error (%)",
+    )
+    return table + "\n\nError vs latency:\n" + scatter

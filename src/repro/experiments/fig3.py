@@ -1,0 +1,128 @@
+"""Figure 3 — co-exploration results under 16.6 / 33.3 ms constraints.
+
+Five solutions per co-exploration method obtained by varying
+lambda_cost from 0.001 to 0.005; ten reference solutions for NAS->HW
+(varying the size penalty); DANCE/Auto-NBA additionally run with the
+soft-constraint term for each target.  HDX runs with the hard
+constraint.  Panels: error-vs-latency for each constraint, and
+error-vs-Cost_HW for Pareto comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    run_autonba,
+    run_dance,
+    run_dance_soft,
+    run_hdx,
+    run_nas_then_hw,
+)
+from repro.core import ConstraintSet
+from repro.experiments.common import ascii_scatter, format_table, get_estimator, get_space
+
+LAMBDAS = (0.001, 0.002, 0.003, 0.004, 0.005)
+CONSTRAINTS_MS = (16.6, 33.3)
+
+
+@dataclass
+class Fig3Row:
+    method: str
+    constraint_ms: Optional[float]  # None = unconstrained variant
+    lambda_cost: float
+    latency_ms: float
+    error_percent: float
+    cost_hw: float
+    in_constraint: Optional[bool]
+
+
+def run_fig3(epochs: int = 150) -> List[Fig3Row]:
+    space = get_space("cifar10")
+    estimator = get_estimator("cifar10")
+    rows: List[Fig3Row] = []
+
+    # NAS->HW reference cloud: 10 solutions of various size penalties.
+    for i, penalty in enumerate(np.linspace(0.0, 4.0, 10)):
+        r = run_nas_then_hw(space, estimator, size_penalty_lambda=float(penalty), seed=i, epochs=epochs)
+        rows.append(
+            Fig3Row("NAS->HW", None, 0.0, r.metrics.latency_ms, r.error_percent, r.cost, None)
+        )
+
+    for i, lam in enumerate(LAMBDAS):
+        # Unconstrained DANCE and Auto-NBA (black markers in the paper).
+        dance = run_dance(space, estimator, lambda_cost=lam, seed=i, epochs=epochs)
+        rows.append(
+            Fig3Row("DANCE", None, lam, dance.metrics.latency_ms, dance.error_percent, dance.cost, None)
+        )
+        nba = run_autonba(space, estimator, lambda_cost=lam, seed=i, epochs=epochs)
+        rows.append(
+            Fig3Row("Auto-NBA", None, lam, nba.metrics.latency_ms, nba.error_percent, nba.cost, None)
+        )
+        for target in CONSTRAINTS_MS:
+            cs = ConstraintSet.latency(target)
+            soft = run_dance_soft(space, estimator, cs, soft_lambda=1.0, lambda_cost=lam, seed=i, epochs=epochs)
+            rows.append(
+                Fig3Row(
+                    "DANCE+Soft", target, lam, soft.metrics.latency_ms,
+                    soft.error_percent, soft.cost, soft.in_constraint,
+                )
+            )
+            nba_soft = run_autonba(
+                space, estimator, lambda_cost=lam, seed=i, epochs=epochs,
+                constraints=cs, soft_lambda=1.0,
+            )
+            rows.append(
+                Fig3Row(
+                    "Auto-NBA+Soft", target, lam, nba_soft.metrics.latency_ms,
+                    nba_soft.error_percent, nba_soft.cost, nba_soft.in_constraint,
+                )
+            )
+            hdx = run_hdx(space, estimator, cs, lambda_cost=lam, seed=i, epochs=epochs)
+            rows.append(
+                Fig3Row(
+                    "HDX", target, lam, hdx.metrics.latency_ms,
+                    hdx.error_percent, hdx.cost, hdx.in_constraint,
+                )
+            )
+    return rows
+
+
+def render_fig3(rows: List[Fig3Row]) -> str:
+    header = ["Method", "Constraint", "lambda", "Lat (ms)", "Err (%)", "Cost_HW", "in?"]
+    table_rows = [
+        [
+            r.method,
+            f"{r.constraint_ms:.1f}" if r.constraint_ms else "-",
+            f"{r.lambda_cost:.3f}" if r.lambda_cost else "-",
+            f"{r.latency_ms:.1f}",
+            f"{r.error_percent:.2f}",
+            f"{r.cost_hw:.2f}",
+            {True: "yes", False: "NO", None: "-"}[r.in_constraint],
+        ]
+        for r in rows
+    ]
+    table = format_table(header, table_rows, title="Fig. 3: co-exploration results")
+
+    marks = {"HDX": "H", "DANCE": "D", "DANCE+Soft": "d", "Auto-NBA": "A", "Auto-NBA+Soft": "a", "NAS->HW": "N"}
+    scatter = ascii_scatter(
+        [r.latency_ms for r in rows],
+        [r.error_percent for r in rows],
+        [marks[r.method] for r in rows],
+        x_name="latency (ms)",
+        y_name="error (%)",
+    )
+    summary = []
+    for target in CONSTRAINTS_MS:
+        hdx_rows = [r for r in rows if r.method == "HDX" and r.constraint_ms == target]
+        n_in = sum(bool(r.in_constraint) for r in hdx_rows)
+        summary.append(f"HDX @ {target} ms: {n_in}/{len(hdx_rows)} in constraint")
+        soft_rows = [
+            r for r in rows if r.method in ("DANCE+Soft", "Auto-NBA+Soft") and r.constraint_ms == target
+        ]
+        n_soft = sum(bool(r.in_constraint) for r in soft_rows)
+        summary.append(f"soft baselines @ {target} ms: {n_soft}/{len(soft_rows)} in constraint")
+    return table + "\n\n" + scatter + "\n" + "\n".join(summary)

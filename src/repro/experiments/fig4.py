@@ -1,0 +1,87 @@
+"""Figure 4 — sensitivity to the pulling magnitude ``p``.
+
+One latency-constrained (33.3 ms) HDX exploration per ``p`` in
+{1e-2, 7e-3, 4e-3}; the panels track the global loss and the
+(estimated) latency across epochs.  The paper's observation: the
+trajectory shape is the same for all ``p`` — loss optimizes first,
+then delta grows until the pull kicks in, latency drops below the
+bar, and loss resumes improving — so HDX is insensitive to its only
+hyper-parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines import run_hdx
+from repro.core import ConstraintSet
+from repro.experiments.common import format_table, get_estimator, get_space
+
+P_VALUES = (1e-2, 7e-3, 4e-3)
+TARGET_MS = 33.3
+
+
+@dataclass
+class Fig4Curve:
+    p: float
+    epochs: List[int]
+    latency_ms: List[float]
+    global_loss: List[float]
+    delta: List[float]
+    final_latency_ms: float
+    final_in_constraint: bool
+
+
+def run_fig4(epochs: int = 150, seed: int = 0) -> List[Fig4Curve]:
+    space = get_space("cifar10")
+    estimator = get_estimator("cifar10")
+    curves: List[Fig4Curve] = []
+    for p in P_VALUES:
+        result = run_hdx(
+            space, estimator, ConstraintSet.latency(TARGET_MS),
+            lambda_cost=0.001, p=p, seed=seed, epochs=epochs,
+        )
+        curves.append(
+            Fig4Curve(
+                p=p,
+                epochs=[r.epoch for r in result.history],
+                latency_ms=[r.predicted_latency_ms for r in result.history],
+                global_loss=[r.global_loss for r in result.history],
+                delta=[r.delta for r in result.history],
+                final_latency_ms=result.metrics.latency_ms,
+                final_in_constraint=result.in_constraint,
+            )
+        )
+    return curves
+
+
+def render_fig4(curves: List[Fig4Curve]) -> str:
+    blocks = []
+    for curve in curves:
+        sample = range(0, len(curve.epochs), max(1, len(curve.epochs) // 12))
+        rows = [
+            [
+                curve.epochs[i],
+                f"{curve.latency_ms[i]:.1f}",
+                f"{curve.global_loss[i]:.3f}",
+                f"{curve.delta[i]:.3e}",
+            ]
+            for i in sample
+        ]
+        table = format_table(
+            ["epoch", "latency (ms)", "global loss", "delta"],
+            rows,
+            title=(
+                f"Fig. 4 (p={curve.p:g}): final latency "
+                f"{curve.final_latency_ms:.1f} ms, "
+                f"{'in' if curve.final_in_constraint else 'OUT OF'} constraint"
+            ),
+        )
+        blocks.append(table)
+    return "\n\n".join(blocks)
+
+
+def curve_summary(curves: List[Fig4Curve]) -> Dict[float, bool]:
+    """p -> constraint satisfied, for assertions in benches/tests."""
+    return {c.p: c.final_in_constraint for c in curves}

@@ -1,0 +1,71 @@
+"""Figure 5 — analysis of the searched network/accelerator pairs.
+
+Visualizes the solutions HDX finds for the 60 FPS and 30 FPS latency
+constraints: per-layer MBConv choices plus the accelerator (PE array,
+RF size, dataflow).  The paper's qualitative finding: the tight
+constraint yields small kernels + a large low-latency (WS-leaning)
+array, while the loose constraint admits larger kernels and an
+energy-lean (RS) design with fewer PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines import run_hdx
+from repro.core import ConstraintSet, SearchResult
+from repro.experiments.common import get_estimator, get_space
+
+
+@dataclass
+class Fig5Solution:
+    constraint_ms: float
+    fps: int
+    result: SearchResult
+
+    @property
+    def mean_kernel(self) -> float:
+        kernels = [c.kernel for c in self.result.arch.choices if not c.is_skip]
+        return sum(kernels) / len(kernels)
+
+    @property
+    def depth(self) -> int:
+        return self.result.arch.depth()
+
+
+def run_fig5(epochs: int = 150, seed: int = 0) -> List[Fig5Solution]:
+    space = get_space("cifar10")
+    estimator = get_estimator("cifar10")
+    solutions = []
+    for target, fps in ((16.6, 60), (33.3, 30)):
+        result = run_hdx(
+            space, estimator, ConstraintSet.latency(target),
+            lambda_cost=0.002, seed=seed, epochs=epochs,
+        )
+        solutions.append(Fig5Solution(target, fps, result))
+    return solutions
+
+
+def render_fig5(solutions: List[Fig5Solution]) -> str:
+    blocks = []
+    for sol in solutions:
+        arch = sol.result.arch
+        config = sol.result.config
+        lines = [
+            f"=== {sol.fps} FPS constraint ({sol.constraint_ms} ms) ===",
+            "(3,1) FIXED  <- stem",
+        ]
+        for choice in arch.choices:
+            lines.append(f"{choice}")
+        lines.append("")
+        lines.append(
+            f"Accelerator: {config.pe_rows}x{config.pe_cols} PE array, "
+            f"{config.rf_bytes}B RF, {config.dataflow.value} dataflow"
+        )
+        lines.append(
+            f"Metrics: {sol.result.metrics} | err {sol.result.error_percent:.2f}% | "
+            f"depth {sol.depth} | mean kernel {sol.mean_kernel:.2f}"
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,79 @@
+"""Table 3 — ImageNet-scale results under a 125 ms constraint.
+
+Two solutions per method (different lambdas/seeds), reporting
+in-constraint status, latency, top-1 error, Cost_HW, and global loss.
+HDX must always land inside the constraint without degrading quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines import run_dance, run_dance_soft, run_hdx, run_nas_then_hw
+from repro.core import ConstraintSet
+from repro.core.coexplore import LAMBDA_COST_SCALE
+from repro.experiments.common import format_table, get_estimator, get_space
+
+TARGET_MS = 125.0
+
+
+@dataclass
+class Table3Row:
+    method: str
+    in_constraint: bool
+    latency_ms: float
+    error_percent: float
+    cost_hw: float
+    loss: float
+
+
+def run_table3(epochs: int = 150) -> List[Table3Row]:
+    space = get_space("imagenet")
+    estimator = get_estimator("imagenet")
+    cs = ConstraintSet.latency(TARGET_MS)
+    rows: List[Table3Row] = []
+
+    def add(result, lambda_cost):
+        rows.append(
+            Table3Row(
+                method=result.method,
+                in_constraint=result.in_constraint,
+                latency_ms=result.metrics.latency_ms,
+                error_percent=result.error_percent,
+                cost_hw=result.cost,
+                loss=result.loss_nas + lambda_cost * LAMBDA_COST_SCALE * result.cost,
+            )
+        )
+
+    for penalty, seed in ((0.0, 0), (1.0, 1)):
+        add(run_nas_then_hw(space, estimator, size_penalty_lambda=penalty, seed=seed,
+                            constraints=cs, epochs=epochs), 0.0)
+    for lam, seed in ((0.001, 0), (0.003, 1)):
+        add(run_dance(space, estimator, lambda_cost=lam, seed=seed, constraints=cs,
+                      epochs=epochs), lam)
+    for lam, seed in ((0.001, 2), (0.003, 3)):
+        add(run_dance_soft(space, estimator, cs, soft_lambda=1.0, lambda_cost=lam,
+                           seed=seed, epochs=epochs), lam)
+    for lam, seed in ((0.001, 0), (0.003, 1)):
+        add(run_hdx(space, estimator, cs, lambda_cost=lam, seed=seed, epochs=epochs), lam)
+    return rows
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    table_rows = [
+        [
+            r.method,
+            "yes" if r.in_constraint else "NO",
+            f"{r.latency_ms:.2f}",
+            f"{r.error_percent:.2f}",
+            f"{r.cost_hw:.2f}",
+            f"{r.loss:.3f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["Method", "in-const?", "Lat (ms)", "Error (%)", "Cost_HW", "Loss"],
+        table_rows,
+        title=f"Table 3: ImageNet-scale results ({TARGET_MS:.0f} ms constraint)",
+    )

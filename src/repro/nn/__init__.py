@@ -1,0 +1,62 @@
+"""Neural-network library built on :mod:`repro.autodiff`.
+
+The PyTorch-``nn`` substitute: modules, layers, losses, optimizers, and
+learning-rate schedules used by the supernet, the estimator, and the
+hardware generator.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.residual import ResidualMLP, ResidualMLPBlock
+from repro.nn.losses import accuracy, cross_entropy, l1_loss, mse_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.scheduler import ConstantLR, CosineAnnealingLR, StepLR
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Flatten",
+    "Dropout",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "ResidualMLP",
+    "ResidualMLPBlock",
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "accuracy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "CosineAnnealingLR",
+    "StepLR",
+    "ConstantLR",
+]

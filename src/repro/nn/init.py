@@ -1,0 +1,17 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization suitable for ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.standard_normal(shape) * std
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization for tanh/sigmoid networks."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

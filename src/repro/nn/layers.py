@@ -1,0 +1,214 @@
+"""Standard layers: linear, convolution, batch norm, activations, pooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad, ops
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+_default_rng = np.random.default_rng(0)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or _default_rng
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal((out_features, in_features), in_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors (supports depthwise via groups)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or _default_rng
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels // groups, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, g={self.groups})"
+        )
+
+
+class _BatchNorm(Module):
+    """Shared machinery for 1-D/2-D batch normalization."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def _buffers(self):
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def _normalize(self, x: Tensor, axes, shape) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            with no_grad():
+                m = self.momentum
+                self.running_mean[...] = (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+                self.running_var[...] = (1 - m) * self.running_var + m * var.data.reshape(-1)
+            normed = centered / (var + self.eps).sqrt()
+        else:
+            mean = self.running_mean.reshape(shape)
+            var = self.running_var.reshape(shape)
+            normed = (x - mean) / np.sqrt(var + self.eps)
+        return normed * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over (N, C) inputs."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._normalize(x, axes=0, shape=(1, self.num_features))
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over (N, C, H, W) inputs."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, self.num_features, 1, 1))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class ReLU6(Module):
+    """The MobileNet activation, clamped at 6."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu6(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Dropout(Module):
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.rate, self.rng, training=self.training)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Reduce (N, C, H, W) to (N, C) by spatial averaging."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

@@ -1,0 +1,35 @@
+"""Loss functions and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor, as_tensor, ops
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = ops.log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[(rows, targets)]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    target = as_tensor(target)
+    return (pred - target).abs().mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = logits.data.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,144 @@
+"""Module/Parameter abstractions mirroring ``torch.nn.Module``."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with automatic parameter/submodule registration.
+
+    Attribute assignment of :class:`Parameter` or :class:`Module`
+    instances registers them, so ``parameters()`` and ``state_dict()``
+    walk the whole tree without extra bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradient helpers
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, module in self._modules.items():
+            for key, buf in module._buffers().items():
+                state[f"{name}.{key}"] = buf.copy()
+        state.update({key: buf.copy() for key, buf in self._buffers().items()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, p in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data[...] = state[name]
+        self._load_buffers(state, prefix="")
+
+    def _buffers(self) -> Dict[str, np.ndarray]:
+        """Non-trainable arrays to persist (e.g. batch-norm statistics)."""
+        return {}
+
+    def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
+        for key, buf in self._buffers().items():
+            full = prefix + key
+            if full in state:
+                buf[...] = state[full]
+        for name, module in self._modules.items():
+            module._load_buffers(state, prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,112 @@
+"""Optimizers: SGD with (Nesterov) momentum and Adam.
+
+The paper trains final networks with SGD + Nesterov momentum and the
+estimator with Adam (lr 1e-4); both are provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameter tensors."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def gradients(self) -> List[Optional[np.ndarray]]:
+        """Snapshot of current parameter gradients (None when absent)."""
+        return [None if p.grad is None else p.grad.copy() for p in self.params]
+
+    def set_gradients(self, grads: Iterable[Optional[np.ndarray]]) -> None:
+        """Overwrite parameter gradients — used by gradient manipulation."""
+        for p, g in zip(self.params, grads):
+            p.grad = None if g is None else np.asarray(g, dtype=p.data.dtype)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum/Nesterov/weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = grad + self.momentum * v if self.nesterov else v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

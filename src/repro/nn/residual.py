@@ -1,0 +1,72 @@
+"""Residual MLPs — the estimator/generator backbone from DANCE/HDX.
+
+The paper (Sec. 4.4) models both the hardware cost estimator and the
+hardware generator as "five-layer Multi-Layer Perceptron with residual
+connections"; these classes implement exactly that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor, ops
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class ResidualMLPBlock(Module):
+    """``y = relu(W2 relu(W1 x) + x)`` — a two-layer residual block."""
+
+    def __init__(self, width: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(width, width, rng=rng)
+        self.fc2 = Linear(width, width, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = ops.relu(self.fc1(x))
+        return ops.relu(self.fc2(hidden) + x)
+
+
+class ResidualMLP(Module):
+    """Input/output projections around residual blocks.
+
+    ``n_layers`` counts linear layers: one input projection, one output
+    projection, and ``(n_layers - 2) // 2`` residual blocks in between.
+    With the paper's five layers this yields in-proj, one residual
+    block (two layers), an extra plain hidden layer, and out-proj.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        width: int = 64,
+        n_layers: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if n_layers < 3:
+            raise ValueError("ResidualMLP needs at least 3 layers")
+        self.in_proj = Linear(in_features, width, rng=rng)
+        n_hidden = n_layers - 2
+        self.blocks = []
+        remaining = n_hidden
+        index = 0
+        while remaining >= 2:
+            block = ResidualMLPBlock(width, rng=rng)
+            setattr(self, f"block{index}", block)
+            self.blocks.append(block)
+            remaining -= 2
+            index += 1
+        self.extra = Linear(width, width, rng=rng) if remaining else None
+        self.out_proj = Linear(width, out_features, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = ops.relu(self.in_proj(x))
+        for block in self.blocks:
+            hidden = block(hidden)
+        if self.extra is not None:
+            hidden = ops.relu(self.extra(hidden))
+        return self.out_proj(hidden)

@@ -1,0 +1,111 @@
+"""JSON (de)serialization of architectures, configs, and results.
+
+Search outputs need to survive across processes (design reviews, final
+training on another machine), so every search artifact has a stable
+JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.accelerator import AcceleratorConfig, Dataflow, HardwareMetrics
+from repro.arch import NetworkArch, SearchSpace, cifar_space, imagenet_space
+from repro.core import ConstraintSet, SearchResult
+from repro.core.constraints import Constraint
+
+_SPACE_FACTORIES = {"cifar10": cifar_space, "imagenet": imagenet_space}
+
+
+def space_by_name(name: str) -> SearchSpace:
+    if name not in _SPACE_FACTORIES:
+        raise ValueError(f"unknown search space {name!r}")
+    return _SPACE_FACTORIES[name]()
+
+
+def arch_to_dict(arch: NetworkArch) -> Dict:
+    return {"space": arch.space.name, "indices": arch.to_indices()}
+
+
+def arch_from_dict(data: Dict, space: SearchSpace = None) -> NetworkArch:
+    space = space or space_by_name(data["space"])
+    if space.name != data["space"]:
+        raise ValueError(
+            f"architecture belongs to space {data['space']!r}, got {space.name!r}"
+        )
+    return NetworkArch.from_indices(space, data["indices"])
+
+
+def config_to_dict(config: AcceleratorConfig) -> Dict:
+    return {
+        "pe_rows": config.pe_rows,
+        "pe_cols": config.pe_cols,
+        "rf_bytes": config.rf_bytes,
+        "dataflow": config.dataflow.name,
+    }
+
+
+def config_from_dict(data: Dict) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        pe_rows=data["pe_rows"],
+        pe_cols=data["pe_cols"],
+        rf_bytes=data["rf_bytes"],
+        dataflow=Dataflow[data["dataflow"]],
+    )
+
+
+def constraints_to_dict(constraints: ConstraintSet) -> Dict:
+    return {c.metric: c.bound for c in constraints}
+
+
+def constraints_from_dict(data: Dict) -> ConstraintSet:
+    return ConstraintSet([Constraint(m, b) for m, b in data.items()])
+
+
+def result_to_dict(result: SearchResult) -> Dict:
+    return {
+        "method": result.method,
+        "arch": arch_to_dict(result.arch),
+        "config": config_to_dict(result.config),
+        "metrics": {
+            "latency_ms": result.metrics.latency_ms,
+            "energy_mj": result.metrics.energy_mj,
+            "area_mm2": result.metrics.area_mm2,
+        },
+        "error_percent": result.error_percent,
+        "loss_nas": result.loss_nas,
+        "cost": result.cost,
+        "constraints": constraints_to_dict(result.constraints),
+        "in_constraint": result.in_constraint,
+    }
+
+
+def result_from_dict(data: Dict, space: SearchSpace = None) -> SearchResult:
+    metrics = data["metrics"]
+    return SearchResult(
+        arch=arch_from_dict(data["arch"], space),
+        config=config_from_dict(data["config"]),
+        metrics=HardwareMetrics(
+            metrics["latency_ms"], metrics["energy_mj"], metrics["area_mm2"]
+        ),
+        error_percent=data["error_percent"],
+        loss_nas=data["loss_nas"],
+        cost=data["cost"],
+        constraints=constraints_from_dict(data["constraints"]),
+        in_constraint=data["in_constraint"],
+        history=[],
+        method=data["method"],
+    )
+
+
+def save_result(result: SearchResult, path: str) -> None:
+    """Write a search result as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+
+
+def load_result(path: str, space: SearchSpace = None) -> SearchResult:
+    """Read a search result saved by :func:`save_result`."""
+    with open(path) as handle:
+        return result_from_dict(json.load(handle), space)

@@ -1,0 +1,72 @@
+"""Tests for the vectorized design-space evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DesignSpace, cost_hw, evaluate_network, exhaustive_search
+from repro.accelerator.batch import evaluate_network_space
+from repro.arch import NetworkArch, cifar_space
+
+SPACE = cifar_space()
+RNG = np.random.default_rng(11)
+
+
+class TestBatchEvaluation:
+    def test_covers_full_space(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        ev = evaluate_network_space(arch)
+        assert len(ev.configs) == len(DesignSpace()) == 2295
+        assert ev.latency_ms.shape == (2295,)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_matches_scalar(self, seed):
+        """The vectorized model must agree with the scalar oracle."""
+        rng = np.random.default_rng(seed)
+        arch = NetworkArch.random(SPACE, rng)
+        ev = evaluate_network_space(arch)
+        for index in rng.choice(len(ev.configs), size=25, replace=False):
+            truth = evaluate_network(arch, ev.configs[index])
+            assert ev.latency_ms[index] == pytest.approx(truth.latency_ms, rel=1e-9)
+            assert ev.energy_mj[index] == pytest.approx(truth.energy_mj, rel=1e-9)
+            assert ev.area_mm2[index] == pytest.approx(truth.area_mm2, rel=1e-9)
+
+    def test_best_matches_exhaustive_search(self):
+        arch = NetworkArch.from_indices(SPACE, [1] * SPACE.num_layers)
+        ev = evaluate_network_space(arch)
+        config, index = ev.best()
+        scalar_config, scalar_metrics = exhaustive_search(arch)
+        assert ev.cost_hw()[index] == pytest.approx(cost_hw(scalar_metrics), rel=1e-9)
+
+    def test_best_with_constraints(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        ev = evaluate_network_space(arch)
+        bound = float(np.median(ev.latency_ms))
+        config, index = ev.best(constraints={"latency": bound})
+        assert ev.latency_ms[index] <= bound
+
+    def test_best_infeasible_returns_fallback(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        ev = evaluate_network_space(arch)
+        config, index = ev.best(constraints={"latency": 1e-9})
+        assert 0 <= index < len(ev.configs)
+
+    def test_custom_objective(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        ev = evaluate_network_space(arch)
+        _, index = ev.best(objective=ev.latency_ms)
+        assert ev.latency_ms[index] == ev.latency_ms.min()
+
+    def test_much_faster_than_scalar(self):
+        import time
+
+        arch = NetworkArch.random(SPACE, RNG)
+        start = time.perf_counter()
+        evaluate_network_space(arch)
+        batch_time = time.perf_counter() - start
+        # Scalar loop over 100 configs as a proxy for the full space.
+        configs = list(DesignSpace())[:100]
+        start = time.perf_counter()
+        for cfg in configs:
+            evaluate_network(arch, cfg)
+        scalar_time = (time.perf_counter() - start) * (2295 / 100)
+        assert batch_time < scalar_time / 3

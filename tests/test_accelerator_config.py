@@ -1,0 +1,145 @@
+"""Tests for accelerator configuration, design space, area, and energy."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    DATAFLOWS,
+    Dataflow,
+    DesignSpace,
+    area_mm2,
+    default_energy_table,
+)
+from repro.accelerator.config import PE_COLS_RANGE, PE_ROWS_RANGE, RF_BYTES_OPTIONS
+
+RNG = np.random.default_rng(6)
+
+
+class TestConfig:
+    def test_valid_config(self):
+        cfg = AcceleratorConfig(16, 16, 128, Dataflow.RS)
+        assert cfg.num_pes == 256
+        assert cfg.rf_words == 64
+
+    def test_bounds_match_paper(self):
+        # Paper Sec 4.4: PE array from 12x8 to 20x24, RF 16B to 256B.
+        assert PE_ROWS_RANGE[0] == 12 and PE_ROWS_RANGE[-1] == 20
+        assert PE_COLS_RANGE[0] == 8 and PE_COLS_RANGE[-1] == 24
+        assert RF_BYTES_OPTIONS[0] == 16 and RF_BYTES_OPTIONS[-1] == 256
+
+    def test_rows_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(11, 16, 128, Dataflow.WS)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(21, 16, 128, Dataflow.WS)
+
+    def test_cols_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(16, 7, 128, Dataflow.WS)
+
+    def test_invalid_rf_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(16, 16, 100, Dataflow.WS)
+
+    def test_three_dataflows(self):
+        assert len(DATAFLOWS) == 3
+        assert {df.name for df in DATAFLOWS} == {"WS", "OS", "RS"}
+
+    def test_str(self):
+        cfg = AcceleratorConfig(12, 8, 16, Dataflow.OS)
+        assert "12x8" in str(cfg) and "OS" in str(cfg)
+
+
+class TestVectorEncoding:
+    def test_roundtrip_all_corners(self):
+        for rows in (12, 20):
+            for cols in (8, 24):
+                for rf in (16, 256):
+                    for df in DATAFLOWS:
+                        cfg = AcceleratorConfig(rows, cols, rf, df)
+                        assert AcceleratorConfig.from_vector(cfg.to_vector()) == cfg
+
+    def test_roundtrip_random(self):
+        ds = DesignSpace()
+        for _ in range(50):
+            cfg = ds.sample(RNG)
+            assert AcceleratorConfig.from_vector(cfg.to_vector()) == cfg
+
+    def test_vector_in_unit_range(self):
+        cfg = AcceleratorConfig(16, 16, 64, Dataflow.RS)
+        vec = cfg.to_vector()
+        assert vec.shape == (6,)
+        assert np.all(vec >= 0) and np.all(vec <= 1)
+
+    def test_from_vector_clips(self):
+        vec = np.array([2.0, -1.0, 0.5, 1.0, 0.0, 0.0])
+        cfg = AcceleratorConfig.from_vector(vec)
+        assert cfg.pe_rows == 20 and cfg.pe_cols == 8
+
+    def test_from_vector_wrong_dim_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig.from_vector(np.zeros(4))
+
+    def test_vector_dim(self):
+        assert AcceleratorConfig.vector_dim() == 6
+
+
+class TestDesignSpace:
+    def test_size_is_2295(self):
+        # 9 rows x 17 cols x 5 RF x 3 dataflows.
+        assert len(DesignSpace()) == 9 * 17 * 5 * 3 == 2295
+
+    def test_iteration_matches_len(self):
+        ds = DesignSpace()
+        assert sum(1 for _ in ds) == len(ds)
+
+    def test_sample_is_valid(self):
+        ds = DesignSpace()
+        for _ in range(20):
+            cfg = ds.sample(RNG)
+            assert isinstance(cfg, AcceleratorConfig)
+
+    def test_sample_many(self):
+        assert len(DesignSpace().sample_many(7, RNG)) == 7
+
+
+class TestArea:
+    def test_more_pes_more_area(self):
+        small = AcceleratorConfig(12, 8, 64, Dataflow.RS)
+        large = AcceleratorConfig(20, 24, 64, Dataflow.RS)
+        assert area_mm2(large) > area_mm2(small)
+
+    def test_bigger_rf_more_area(self):
+        lo = AcceleratorConfig(16, 16, 16, Dataflow.RS)
+        hi = AcceleratorConfig(16, 16, 256, Dataflow.RS)
+        assert area_mm2(hi) > area_mm2(lo)
+
+    def test_dataflow_does_not_change_area(self):
+        areas = {
+            area_mm2(AcceleratorConfig(16, 16, 64, df)) for df in DATAFLOWS
+        }
+        assert len(areas) == 1
+
+    def test_area_in_paper_range(self):
+        # Paper Table 2 areas span ~1.86-2.53 mm^2; the model's full
+        # design space should cover a comparable window.
+        areas = [area_mm2(cfg) for cfg in DesignSpace()]
+        assert min(areas) > 1.0
+        assert max(areas) < 3.5
+
+
+class TestEnergyTable:
+    def test_relative_costs(self):
+        table = default_energy_table()
+        rf = table.rf_access_pj(64)
+        assert table.dram_pj > table.buffer_pj > rf > 0
+        # DRAM should dominate RF by ~2 orders of magnitude.
+        assert table.dram_pj / rf > 50
+
+    def test_rf_energy_grows_with_size(self):
+        table = default_energy_table()
+        assert table.rf_access_pj(256) > table.rf_access_pj(16)
+
+    def test_deterministic(self):
+        assert default_energy_table() == default_energy_table()

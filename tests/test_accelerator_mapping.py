@@ -1,0 +1,254 @@
+"""Tests for the analytical mapping model and network-level evaluation.
+
+These check the qualitative hardware laws the co-exploration relies
+on: parallelism lowers latency, RF capacity lowers energy, dataflows
+rank the way the architecture literature says they do.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    HardwareMetrics,
+    cost_hw,
+    evaluate_layer,
+    evaluate_network,
+    exhaustive_search,
+    map_layer,
+)
+from repro.accelerator.config import RF_BYTES_OPTIONS
+from repro.accelerator.cost import REFERENCE_SCALES, edap, edp
+from repro.arch import NetworkArch, cifar_space
+from repro.arch.network import ConvLayerDesc
+
+SPACE = cifar_space()
+
+
+def conv(c_in=64, c_out=64, k=3, stride=1, size=16, groups=1):
+    return ConvLayerDesc(c_in, c_out, k, stride, size, groups)
+
+
+def config(rows=16, cols=16, rf=128, df=Dataflow.WS):
+    return AcceleratorConfig(rows, cols, rf, df)
+
+
+class TestMappingBasics:
+    def test_utilization_bounded(self):
+        m = map_layer(conv(), config())
+        assert 0 < m.utilization <= 1.0
+
+    def test_all_quantities_positive(self):
+        m = map_layer(conv(), config())
+        assert m.compute_cycles > 0
+        assert m.rf_accesses > 0
+        assert m.buffer_accesses > 0
+        assert m.dram_accesses > 0
+        assert m.latency_cycles > 0
+
+    def test_latency_at_least_compute(self):
+        m = map_layer(conv(), config())
+        assert m.latency_cycles >= m.compute_cycles
+
+    def test_rf_accesses_scale_with_macs(self):
+        layer = conv()
+        m = map_layer(layer, config())
+        assert m.rf_accesses == pytest.approx(3.0 * layer.macs)
+
+    def test_buffer_accesses_at_least_volumes(self):
+        layer = conv()
+        m = map_layer(layer, config())
+        min_traffic = layer.weight_count + layer.input_count + layer.output_count
+        assert m.buffer_accesses >= min_traffic
+
+
+class TestHardwareLaws:
+    def test_more_pes_lower_compute_latency(self):
+        layer = conv(c_in=256, c_out=256, size=32)
+        small = map_layer(layer, config(rows=12, cols=8))
+        large = map_layer(layer, config(rows=20, cols=24))
+        assert large.compute_cycles < small.compute_cycles
+
+    def test_bigger_kernel_more_latency(self):
+        lat3, _ = evaluate_layer(conv(k=3), config())
+        lat7, _ = evaluate_layer(conv(k=7), config())
+        assert lat7 > lat3
+
+    def test_ws_depthwise_collapse(self):
+        """The MobileNet-on-TPU effect: depthwise starves a WS array."""
+        dw = conv(c_in=128, c_out=128, groups=128)
+        dense = conv(c_in=128, c_out=128)
+        util_dw = map_layer(dw, config(df=Dataflow.WS)).utilization
+        util_dense = map_layer(dense, config(df=Dataflow.WS)).utilization
+        assert util_dw < 0.5 * util_dense
+
+    def test_rs_handles_depthwise_better_than_ws(self):
+        dw = conv(c_in=128, c_out=128, groups=128)
+        ws = map_layer(dw, config(df=Dataflow.WS)).utilization
+        rs = map_layer(dw, config(df=Dataflow.RS)).utilization
+        assert rs > ws
+
+    def test_bigger_rf_not_more_buffer_traffic(self):
+        layer = conv(k=5)
+        hi = map_layer(layer, config(rf=256))
+        lo = map_layer(layer, config(rf=16))
+        assert hi.buffer_accesses <= lo.buffer_accesses
+
+
+class TestDataflowOrdering:
+    """Network-level orderings on a mixed MBConv workload."""
+
+    ARCH = NetworkArch.from_indices(SPACE, [3] * SPACE.num_layers)
+
+    def metrics(self, df):
+        return evaluate_network(self.ARCH, config(df=df))
+
+    def test_ws_fastest_on_channel_heavy_network(self):
+        lat = {df: self.metrics(df).latency_ms for df in Dataflow}
+        assert lat[Dataflow.WS] == min(lat.values())
+
+    def test_rs_most_energy_efficient(self):
+        energy = {df: self.metrics(df).energy_mj for df in Dataflow}
+        assert energy[Dataflow.RS] == min(energy.values())
+
+    def test_ws_least_energy_efficient(self):
+        energy = {df: self.metrics(df).energy_mj for df in Dataflow}
+        assert energy[Dataflow.WS] == max(energy.values())
+
+
+class TestEvaluateNetwork:
+    def test_metrics_positive_and_finite(self):
+        arch = NetworkArch.random(SPACE, np.random.default_rng(0))
+        m = evaluate_network(arch, config())
+        for value in m.as_tuple():
+            assert np.isfinite(value) and value > 0
+
+    def test_latency_in_plausible_range(self):
+        # CIFAR-scale nets should land in the tens-of-ms regime the
+        # paper's constraints (16.6/33.3 ms) are defined over.
+        arch = NetworkArch.from_indices(SPACE, [1] * SPACE.num_layers)
+        m = evaluate_network(arch, config())
+        assert 1.0 < m.latency_ms < 200.0
+
+    def test_deterministic(self):
+        arch = NetworkArch.random(SPACE, np.random.default_rng(1))
+        a = evaluate_network(arch, config())
+        b = evaluate_network(arch, config())
+        assert a == b
+
+    def test_bigger_network_costs_more(self):
+        small = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        big = NetworkArch.from_indices(SPACE, [5] * SPACE.num_layers)
+        cfg = config()
+        assert (
+            evaluate_network(big, cfg).latency_ms
+            > evaluate_network(small, cfg).latency_ms
+        )
+        assert (
+            evaluate_network(big, cfg).energy_mj
+            > evaluate_network(small, cfg).energy_mj
+        )
+
+    def test_metric_lookup(self):
+        m = HardwareMetrics(1.0, 2.0, 3.0)
+        assert m.metric("latency") == 1.0
+        assert m.metric("energy") == 2.0
+        assert m.metric("area") == 3.0
+        with pytest.raises(KeyError):
+            m.metric("power")
+
+
+class TestCostFunction:
+    def test_cost_hw_is_weighted_sum(self):
+        m = HardwareMetrics(
+            REFERENCE_SCALES["latency_ms"],
+            REFERENCE_SCALES["energy_mj"],
+            REFERENCE_SCALES["area_mm2"],
+        )
+        # At the reference point the cost equals the sum of weights.
+        assert cost_hw(m) == pytest.approx(6.2 + 2.9 + 1.0)
+
+    def test_custom_weights(self):
+        m = HardwareMetrics(49.2, 10.2, 0.98)
+        only_latency = cost_hw(m, {"latency": 1.0, "energy": 0.0, "area": 0.0})
+        assert only_latency == pytest.approx(1.0)
+
+    def test_edp_and_edap(self):
+        m = HardwareMetrics(2.0, 3.0, 4.0)
+        assert edp(m) == 6.0
+        assert edap(m) == 24.0
+
+    def test_cost_monotone_in_each_metric(self):
+        base = HardwareMetrics(20.0, 10.0, 2.0)
+        assert cost_hw(HardwareMetrics(25.0, 10.0, 2.0)) > cost_hw(base)
+        assert cost_hw(HardwareMetrics(20.0, 12.0, 2.0)) > cost_hw(base)
+        assert cost_hw(HardwareMetrics(20.0, 10.0, 2.5)) > cost_hw(base)
+
+
+class TestExhaustiveSearch:
+    ARCH = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+
+    def test_finds_feasible_under_loose_constraint(self):
+        cfg, m = exhaustive_search(self.ARCH, constraints={"latency": 50.0})
+        assert m.latency_ms <= 50.0
+
+    def test_tight_constraint_prefers_feasible(self):
+        _, min_lat = exhaustive_search(self.ARCH, objective=lambda m: m.latency_ms)
+        _, unconstrained = exhaustive_search(self.ARCH)
+        # A bound between the latency floor and the unconstrained optimum
+        # is feasible but binding.
+        bound = 0.5 * (min_lat.latency_ms + unconstrained.latency_ms)
+        cfg, m = exhaustive_search(self.ARCH, constraints={"latency": bound})
+        assert m.latency_ms <= bound
+
+    def test_infeasible_returns_fallback(self):
+        cfg, m = exhaustive_search(self.ARCH, constraints={"latency": 1e-9})
+        assert m.latency_ms > 1e-9  # fallback, not a lie
+
+    def test_objective_override(self):
+        _, m_lat = exhaustive_search(self.ARCH, objective=lambda m: m.latency_ms)
+        _, m_cost = exhaustive_search(self.ARCH)
+        assert m_lat.latency_ms <= m_cost.latency_ms
+
+    def test_restricted_space(self):
+        subset = [config(df=Dataflow.RS)]
+        cfg, _ = exhaustive_search(self.ARCH, space=subset)
+        assert cfg == subset[0]
+
+
+class TestPropertyBased:
+    @given(
+        c_in=st.sampled_from([16, 32, 64, 256]),
+        c_out=st.sampled_from([16, 32, 64, 256]),
+        k=st.sampled_from([1, 3, 5, 7]),
+        size=st.sampled_from([4, 8, 16, 32]),
+        rows=st.integers(12, 20),
+        cols=st.integers(8, 24),
+        rf=st.sampled_from(RF_BYTES_OPTIONS),
+        df=st.sampled_from(list(Dataflow)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_invariants(self, c_in, c_out, k, size, rows, cols, rf, df):
+        layer = ConvLayerDesc(c_in, c_out, k, 1, size)
+        cfg = AcceleratorConfig(rows, cols, rf, df)
+        m = map_layer(layer, cfg)
+        assert 0 < m.utilization <= 1.0
+        assert m.latency_cycles >= m.compute_cycles > 0
+        assert np.isfinite(m.buffer_accesses) and m.buffer_accesses > 0
+        assert np.isfinite(m.dram_accesses) and m.dram_accesses > 0
+        lat, energy = evaluate_layer(layer, cfg)
+        assert lat > 0 and energy > 0
+
+    @given(
+        rows=st.integers(12, 20),
+        cols=st.integers(8, 24),
+        rf=st.sampled_from(RF_BYTES_OPTIONS),
+        df=st.sampled_from(list(Dataflow)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_decomposition_nonnegative(self, rows, cols, rf, df):
+        arch = NetworkArch.from_indices(SPACE, [2] * SPACE.num_layers)
+        m = evaluate_network(arch, AcceleratorConfig(rows, cols, rf, df))
+        assert m.energy_mj > 0 and m.latency_ms > 0 and m.area_mm2 > 0

@@ -1,0 +1,185 @@
+"""Tests for the search space, discrete networks, and encodings."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CANDIDATES,
+    NetworkArch,
+    SKIP,
+    arch_feature_dim,
+    arch_features_from_alpha,
+    arch_features_from_indices,
+    cifar_space,
+    imagenet_space,
+)
+from repro.autodiff import Tensor
+
+RNG = np.random.default_rng(4)
+
+
+class TestSearchSpace:
+    def test_cifar_has_18_layers(self):
+        assert cifar_space().num_layers == 18
+
+    def test_imagenet_has_21_layers(self):
+        assert imagenet_space().num_layers == 21
+
+    def test_candidate_set_matches_paper(self):
+        kernels = {c.kernel for c in CANDIDATES}
+        expands = {c.expand for c in CANDIDATES}
+        assert kernels == {3, 5, 7}
+        assert expands == {3, 6}
+        assert len(CANDIDATES) == 6
+
+    def test_skip_only_on_identity_compatible_layers(self):
+        space = cifar_space()
+        for spec in space.layers:
+            if spec.allow_skip:
+                assert spec.stride == 1
+                assert spec.in_channels == spec.out_channels
+
+    def test_stride_reduces_resolution(self):
+        space = cifar_space()
+        # 3 stride-2 stages: 32 -> 16 -> 8 -> 4.
+        assert space.final_size == 4
+
+    def test_total_architectures_is_large(self):
+        # The joint network space should be astronomically large, as in
+        # the paper (~1e14 networks x ~2e3 accelerators).
+        assert cifar_space().total_architectures() > 1e13
+
+    def test_choices_for_layer(self):
+        space = cifar_space()
+        c0 = space.choices_for(0)
+        assert len(c0) in (6, 7)
+
+
+class TestNetworkArch:
+    def test_from_indices_roundtrip(self):
+        space = cifar_space()
+        indices = [i % 6 for i in range(space.num_layers)]
+        arch = NetworkArch.from_indices(space, indices)
+        assert arch.to_indices() == indices
+
+    def test_random_is_valid(self):
+        space = cifar_space()
+        for _ in range(20):
+            arch = NetworkArch.random(space, RNG)
+            assert len(arch.choices) == space.num_layers
+
+    def test_wrong_length_raises(self):
+        space = cifar_space()
+        with pytest.raises(ValueError):
+            NetworkArch(space, [CANDIDATES[0]] * 3)
+
+    def test_invalid_skip_raises(self):
+        space = cifar_space()
+        # Find a layer where skip is forbidden (stride 2 or channel change).
+        bad_layer = next(
+            i for i, spec in enumerate(space.layers) if not spec.allow_skip
+        )
+        choices = [CANDIDATES[0]] * space.num_layers
+        choices[bad_layer] = SKIP
+        with pytest.raises(ValueError):
+            NetworkArch(space, choices)
+
+    def test_conv_expansion_includes_stem(self):
+        space = cifar_space()
+        arch = NetworkArch.from_indices(space, [0] * space.num_layers)
+        convs = arch.conv_layers()
+        stem = convs[0]
+        assert stem.kernel == 3 and stem.in_channels == 3
+
+    def test_conv_expansion_three_per_block(self):
+        space = cifar_space()
+        arch = NetworkArch.from_indices(space, [0] * space.num_layers)
+        # stem + 3 convs per MBConv block (expand, depthwise, project).
+        assert len(arch.conv_layers()) == 1 + 3 * space.num_layers
+
+    def test_skip_blocks_add_no_convs(self):
+        space = cifar_space()
+        indices = [0] * space.num_layers
+        skip_layer = next(i for i, s in enumerate(space.layers) if s.allow_skip)
+        with_block = NetworkArch.from_indices(space, indices)
+        indices[skip_layer] = len(space.layers[skip_layer].candidates()) - 1  # skip slot
+        with_skip = NetworkArch.from_indices(space, indices)
+        assert len(with_skip.conv_layers()) == len(with_block.conv_layers()) - 3
+        assert with_skip.depth() == with_block.depth() - 1
+
+    def test_macs_increase_with_kernel(self):
+        space = cifar_space()
+        small = NetworkArch.from_indices(space, [0] * 18)  # (3,3)
+        big = NetworkArch.from_indices(space, [4] * 18)  # (7,3)
+        assert big.total_macs() > small.total_macs()
+
+    def test_macs_increase_with_expand(self):
+        space = cifar_space()
+        e3 = NetworkArch.from_indices(space, [0] * 18)  # (3,3)
+        e6 = NetworkArch.from_indices(space, [1] * 18)  # (3,6)
+        assert e6.total_macs() > e3.total_macs()
+
+    def test_depthwise_layer_properties(self):
+        space = cifar_space()
+        arch = NetworkArch.from_indices(space, [0] * 18)
+        dw = arch.conv_layers()[2]  # stem, expand, depthwise
+        assert dw.groups == dw.in_channels == dw.out_channels
+        # Depthwise MACs are out * k * k * size^2.
+        assert dw.macs == dw.out_channels * 9 * dw.out_size**2
+
+    def test_equality_and_hash(self):
+        space = cifar_space()
+        a = NetworkArch.from_indices(space, [0] * 18)
+        b = NetworkArch.from_indices(space, [0] * 18)
+        c = NetworkArch.from_indices(space, [1] * 18)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestEncoding:
+    def test_feature_dim(self):
+        space = cifar_space()
+        assert arch_feature_dim(space) == 18 * 7
+
+    def test_one_hot_encoding(self):
+        space = cifar_space()
+        feats = arch_features_from_indices(space, [0] * 18)
+        assert feats.shape == (18 * 7,)
+        assert feats.sum() == 18
+        assert set(np.unique(feats)) == {0.0, 1.0}
+
+    def test_soft_encoding_rows_sum_to_one(self):
+        space = cifar_space()
+        alpha = Tensor(RNG.standard_normal((18, 7)), requires_grad=True)
+        feats = arch_features_from_alpha(space, alpha)
+        rows = feats.data.reshape(18, 7)
+        np.testing.assert_allclose(rows.sum(axis=1), np.ones(18), atol=1e-9)
+
+    def test_soft_encoding_masks_invalid_slots(self):
+        space = cifar_space()
+        alpha = Tensor(np.zeros((18, 7)), requires_grad=True)
+        rows = arch_features_from_alpha(space, alpha).data.reshape(18, 7)
+        for i, spec in enumerate(space.layers):
+            n_valid = len(spec.candidates())
+            assert np.all(rows[i, n_valid:] < 1e-12)
+
+    def test_soft_encoding_differentiable(self):
+        space = cifar_space()
+        alpha = Tensor(np.zeros((18, 7)), requires_grad=True)
+        arch_features_from_alpha(space, alpha).sum().backward()
+        assert alpha.grad is not None
+
+    def test_soft_matches_hard_at_extreme_alpha(self):
+        space = cifar_space()
+        indices = [1] * 18
+        alpha_data = np.zeros((18, 7))
+        for i, idx in enumerate(indices):
+            alpha_data[i, idx] = 50.0
+        soft = arch_features_from_alpha(space, Tensor(alpha_data)).data
+        hard = arch_features_from_indices(space, indices)
+        np.testing.assert_allclose(soft, hard, atol=1e-9)
+
+    def test_alpha_shape_mismatch_raises(self):
+        space = cifar_space()
+        with pytest.raises(ValueError):
+            arch_features_from_alpha(space, Tensor(np.zeros((3, 7))))

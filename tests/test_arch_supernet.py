@@ -1,0 +1,150 @@
+"""Tests for MBConv blocks and the path-sampling supernet."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.arch import MBConvBlock, NetworkArch, SuperNet, build_network_module, cifar_space
+from repro.autodiff import Tensor
+
+RNG = np.random.default_rng(5)
+
+
+def tiny_space():
+    """A scaled-down space to keep supernet tests fast."""
+    from repro.arch.space import SearchSpace
+
+    return SearchSpace(
+        name="tiny",
+        input_size=32,
+        train_input_size=8,
+        num_classes=4,
+        stem_channels=16,
+        train_stem_channels=4,
+        stage_plan=[(16, 4, 2, 1), (32, 6, 2, 2)],
+    )
+
+
+class TestMBConvBlock:
+    def test_output_shape_stride1(self):
+        block = MBConvBlock(4, 4, kernel=3, expand=3, stride=1)
+        out = block(Tensor(RNG.standard_normal((2, 4, 8, 8))))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_output_shape_stride2(self):
+        block = MBConvBlock(4, 6, kernel=5, expand=3, stride=2)
+        out = block(Tensor(RNG.standard_normal((2, 4, 8, 8))))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_residual_only_when_compatible(self):
+        assert MBConvBlock(4, 4, 3, 3, 1).use_residual
+        assert not MBConvBlock(4, 6, 3, 3, 1).use_residual
+        assert not MBConvBlock(4, 4, 3, 3, 2).use_residual
+
+    def test_gradients_flow(self):
+        block = MBConvBlock(3, 3, kernel=3, expand=3, stride=1)
+        x = Tensor(RNG.standard_normal((2, 3, 6, 6)), requires_grad=True)
+        (block(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert block.dw_conv.weight.grad is not None
+
+
+class TestBuildNetworkModule:
+    def test_forward_shape(self):
+        space = tiny_space()
+        arch = NetworkArch.from_indices(space, [0] * space.num_layers)
+        model = build_network_module(arch, seed=0)
+        x = Tensor(RNG.standard_normal((2, 3, space.train_input_size, space.train_input_size)))
+        assert model(x).shape == (2, space.num_classes)
+
+    def test_full_cifar_network_builds(self):
+        space = cifar_space()
+        arch = NetworkArch.from_indices(space, [2] * space.num_layers)
+        model = build_network_module(arch)
+        x = Tensor(RNG.standard_normal((1, 3, space.train_input_size, space.train_input_size)))
+        assert model(x).shape == (1, 10)
+
+    def test_skip_choice_builds_identity(self):
+        space = tiny_space()
+        indices = [0] * space.num_layers
+        skip_layer = next(i for i, s in enumerate(space.layers) if s.allow_skip)
+        indices[skip_layer] = len(space.layers[skip_layer].candidates()) - 1
+        arch = NetworkArch.from_indices(space, indices)
+        model = build_network_module(arch)
+        x = Tensor(RNG.standard_normal((1, 3, space.train_input_size, space.train_input_size)))
+        assert model(x).shape == (1, space.num_classes)
+
+
+class TestSuperNet:
+    def test_alpha_shape(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        assert net.alpha.shape == (space.num_layers, space.num_choices)
+
+    def test_parameter_partition(self):
+        net = SuperNet(tiny_space())
+        weights = net.weight_parameters()
+        assert net.alpha not in weights
+        assert len(weights) == len(net.parameters()) - 1
+
+    def test_forward_with_explicit_path(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        x = Tensor(RNG.standard_normal((2, 3, space.train_input_size, space.train_input_size)))
+        out = net(x, path=[0] * space.num_layers)
+        assert out.shape == (2, space.num_classes)
+
+    def test_forward_samples_path_when_omitted(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        x = Tensor(RNG.standard_normal((1, 3, space.train_input_size, space.train_input_size)))
+        assert net(x).shape == (1, space.num_classes)
+
+    def test_sample_path_respects_candidate_counts(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        for _ in range(10):
+            path = net.sample_path()
+            for li, idx in enumerate(path):
+                assert 0 <= idx < len(space.layers[li].candidates())
+
+    def test_alpha_receives_gradient(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        x = Tensor(RNG.standard_normal((2, 3, space.train_input_size, space.train_input_size)))
+        loss = nn.cross_entropy(net(x, path=[0] * space.num_layers), np.zeros(2, dtype=int))
+        loss.backward()
+        assert net.alpha.grad is not None
+        assert np.any(net.alpha.grad != 0)
+
+    def test_weights_receive_gradient_on_sampled_path_only(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        path = [0] * space.num_layers
+        x = Tensor(RNG.standard_normal((2, 3, space.train_input_size, space.train_input_size)))
+        nn.cross_entropy(net(x, path=path), np.zeros(2, dtype=int)).backward()
+        on_path = net.layer_candidates[0][0]
+        off_path = net.layer_candidates[0][1]
+        assert on_path.dw_conv.weight.grad is not None
+        assert off_path.dw_conv.weight.grad is None
+
+    def test_dominant_arch_follows_alpha(self):
+        space = tiny_space()
+        net = SuperNet(space)
+        net.alpha.data[:, 1] = 10.0
+        arch = net.dominant_arch()
+        assert all(idx == 1 for idx in arch.to_indices())
+
+    def test_alpha_probs_rows_normalized(self):
+        net = SuperNet(tiny_space())
+        probs = net.alpha_probs_numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_sampling_distribution_tracks_alpha(self):
+        space = tiny_space()
+        net = SuperNet(space, seed=0)
+        net.alpha.data[0, :] = np.array([5.0, 0, 0, 0, 0, 0, 0])
+        counts = np.zeros(space.num_choices)
+        for _ in range(200):
+            counts[net.sample_path()[0]] += 1
+        assert counts[0] > 150  # softmax(5 vs 0) ~ 0.97

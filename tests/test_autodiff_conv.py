@@ -1,0 +1,143 @@
+"""Gradient checks for convolution, pooling, and dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradient_check, ops
+
+RNG = np.random.default_rng(1)
+
+
+def make(shape, scale=1.0):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self):
+        x = RNG.standard_normal((2, 3, 8, 8))
+        cols, oh, ow = ops.im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+        assert (oh, ow) == (8, 8)
+
+    def test_stride_two(self):
+        x = RNG.standard_normal((1, 2, 8, 8))
+        cols, oh, ow = ops.im2col(x, kernel=3, stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+
+    def test_col2im_is_adjoint(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = RNG.standard_normal((2, 3, 6, 6))
+        cols, oh, ow = ops.im2col(x, 3, 1, 1)
+        y = RNG.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * ops.col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        x = RNG.standard_normal((1, 2, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        out = ops.conv2d(Tensor(x), Tensor(w), stride=1, padding=0).data
+        # Direct nested-loop reference.
+        ref = np.zeros((1, 3, 3, 3))
+        for co in range(3):
+            for i in range(3):
+                for j in range(3):
+                    ref[0, co, i, j] = (x[0, :, i : i + 3, j : j + 3] * w[co]).sum()
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_grad_input_and_weight(self):
+        x, w = make((2, 3, 5, 5)), make((4, 3, 3, 3))
+        gradient_check(lambda x, w: (ops.conv2d(x, w, padding=1) ** 2).sum(), [x, w])
+
+    def test_grad_with_bias(self):
+        x, w, b = make((1, 2, 4, 4)), make((3, 2, 3, 3)), make((3,))
+        gradient_check(
+            lambda x, w, b: (ops.conv2d(x, w, b, padding=1) ** 2).sum(), [x, w, b]
+        )
+
+    def test_grad_stride_two(self):
+        x, w = make((1, 2, 6, 6)), make((3, 2, 3, 3))
+        gradient_check(
+            lambda x, w: (ops.conv2d(x, w, stride=2, padding=1) ** 2).sum(), [x, w]
+        )
+
+    def test_depthwise_groups(self):
+        x, w = make((1, 4, 5, 5)), make((4, 1, 3, 3))
+        gradient_check(
+            lambda x, w: (ops.conv2d(x, w, padding=1, groups=4) ** 2).sum(), [x, w]
+        )
+
+    def test_grouped_conv_matches_split(self):
+        x = RNG.standard_normal((1, 4, 5, 5))
+        w = RNG.standard_normal((6, 2, 3, 3))
+        grouped = ops.conv2d(Tensor(x), Tensor(w), padding=1, groups=2).data
+        lo = ops.conv2d(Tensor(x[:, :2]), Tensor(w[:3]), padding=1).data
+        hi = ops.conv2d(Tensor(x[:, 2:]), Tensor(w[3:]), padding=1).data
+        np.testing.assert_allclose(grouped, np.concatenate([lo, hi], axis=1), atol=1e-10)
+
+    def test_pointwise_1x1(self):
+        x, w = make((2, 3, 4, 4)), make((5, 3, 1, 1))
+        gradient_check(lambda x, w: (ops.conv2d(x, w) ** 2).sum(), [x, w])
+
+    def test_channel_mismatch_raises(self):
+        x, w = make((1, 3, 5, 5)), make((4, 2, 3, 3))
+        with pytest.raises(ValueError):
+            ops.conv2d(x, w)
+
+    def test_output_shape(self):
+        x, w = make((2, 3, 32, 32)), make((8, 3, 5, 5))
+        out = ops.conv2d(x, w, stride=2, padding=2)
+        assert out.shape == (2, 8, 16, 16)
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = ops.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad(self):
+        x = make((1, 2, 4, 4))
+        gradient_check(lambda x: (ops.avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = ops.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_grad(self):
+        x = make((1, 2, 6, 6))
+        gradient_check(lambda x: (ops.max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool_via_mean(self):
+        x = make((2, 3, 4, 4))
+        out = x.mean(axis=(2, 3))
+        assert out.shape == (2, 3)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = make((4, 4))
+        out = ops.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_zero_rate_is_identity(self):
+        x = make((4, 4))
+        out = ops.dropout(x, 0.0, np.random.default_rng(0), training=True)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = ops.dropout(x, 0.3, np.random.default_rng(0), training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_grad_flows_through_mask(self):
+        x = make((5, 5))
+        rng_state = np.random.default_rng(7)
+        mask_out = ops.dropout(x, 0.4, rng_state, training=True)
+        mask_out.sum().backward()
+        # Gradient must be zero exactly where activations were dropped.
+        dropped = mask_out.data == 0
+        assert np.all(x.grad[dropped] == 0)

@@ -1,0 +1,305 @@
+"""Gradient-check tests for the elementwise and reduction ops."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradient_check, no_grad, ops
+
+RNG = np.random.default_rng(0)
+
+
+def make(shape, scale=1.0, shift=0.0):
+    return Tensor(RNG.standard_normal(shape) * scale + shift, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = make((3, 4)), make((3, 4))
+        gradient_check(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = make((3, 4)), make((4,))
+        gradient_check(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_scalar_broadcast(self):
+        a, b = make((2, 3, 4)), make((1, 1))
+        gradient_check(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_sub(self):
+        a, b = make((5,)), make((5,))
+        gradient_check(lambda a, b: (a - b).sum(), [a, b])
+
+    def test_rsub(self):
+        a = make((5,))
+        gradient_check(lambda a: (3.0 - a).sum(), [a])
+
+    def test_mul(self):
+        a, b = make((3, 3)), make((3, 3))
+        gradient_check(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a, b = make((2, 3)), make((3,))
+        gradient_check(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a, b = make((4,)), make((4,), shift=3.0)
+        gradient_check(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rdiv(self):
+        a = make((4,), shift=3.0)
+        gradient_check(lambda a: (2.0 / a).sum(), [a])
+
+    def test_neg(self):
+        a = make((3,))
+        gradient_check(lambda a: (-a).sum(), [a])
+
+    def test_pow(self):
+        a = make((4,), shift=2.0)
+        gradient_check(lambda a: (a**3).sum(), [a])
+
+    def test_chained_expression(self):
+        a, b = make((3,)), make((3,))
+        gradient_check(lambda a, b: ((a * b + a) / (b * b + 2.0)).sum(), [a, b])
+
+    def test_reused_tensor_accumulates(self):
+        a = make((3,))
+        gradient_check(lambda a: (a * a + a * 2.0).sum(), [a])
+
+
+class TestUnary:
+    def test_exp(self):
+        a = make((3, 2), scale=0.5)
+        gradient_check(lambda a: a.exp().sum(), [a])
+
+    def test_log(self):
+        a = make((4,), shift=3.0)
+        gradient_check(lambda a: a.log().sum(), [a])
+
+    def test_sqrt(self):
+        a = make((4,), shift=3.0)
+        gradient_check(lambda a: a.sqrt().sum(), [a])
+
+    def test_abs(self):
+        a = Tensor([1.5, -2.5, 3.0], requires_grad=True)
+        gradient_check(lambda a: a.abs().sum(), [a])
+
+    def test_clip(self):
+        a = Tensor([-2.0, -0.5, 0.5, 2.0], requires_grad=True)
+        gradient_check(lambda a: a.clip(-1.0, 1.0).sum(), [a])
+
+    def test_sigmoid(self):
+        a = make((3, 3))
+        gradient_check(lambda a: a.sigmoid().sum(), [a])
+
+    def test_tanh(self):
+        a = make((3, 3))
+        gradient_check(lambda a: a.tanh().sum(), [a])
+
+    def test_relu(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        gradient_check(lambda a: a.relu().sum(), [a])
+
+    def test_relu6(self):
+        a = Tensor([-1.0, 0.5, 5.0, 7.0], requires_grad=True)
+        gradient_check(lambda a: ops.relu6(a).sum(), [a])
+
+    def test_leaky_relu(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        gradient_check(lambda a: ops.leaky_relu(a, 0.1).sum(), [a])
+
+
+class TestMinMax:
+    def test_maximum_scalar(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        gradient_check(lambda a: ops.maximum(a, 0.0).sum(), [a])
+
+    def test_maximum_tensors(self):
+        a = Tensor([1.0, 5.0, -2.0], requires_grad=True)
+        b = Tensor([2.0, 1.0, -3.0], requires_grad=True)
+        gradient_check(lambda a, b: ops.maximum(a, b).sum(), [a, b])
+
+    def test_minimum_tensors(self):
+        a = Tensor([1.0, 5.0, -2.0], requires_grad=True)
+        b = Tensor([2.0, 1.0, -3.0], requires_grad=True)
+        gradient_check(lambda a, b: ops.minimum(a, b).sum(), [a, b])
+
+    def test_max_reduction_all(self):
+        a = Tensor([[1.0, 5.0], [3.0, -2.0]], requires_grad=True)
+        gradient_check(lambda a: a.max(), [a])
+
+    def test_max_reduction_axis(self):
+        a = Tensor([[1.0, 5.0], [3.0, -2.0]], requires_grad=True)
+        gradient_check(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_min_reduction_axis(self):
+        a = Tensor([[1.0, 5.0], [3.0, -2.0]], requires_grad=True)
+        gradient_check(lambda a: a.min(axis=0).sum(), [a])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = make((2, 3, 4))
+        gradient_check(lambda a: a.sum(), [a])
+
+    def test_sum_axis(self):
+        a = make((2, 3, 4))
+        gradient_check(lambda a: a.sum(axis=1).sum(), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = make((2, 3))
+        gradient_check(lambda a: a.sum(axis=0, keepdims=True).sum(), [a])
+
+    def test_sum_negative_axis(self):
+        a = make((2, 3))
+        gradient_check(lambda a: a.sum(axis=-1).sum(), [a])
+
+    def test_mean_all(self):
+        a = make((3, 4))
+        gradient_check(lambda a: a.mean(), [a])
+
+    def test_mean_axis(self):
+        a = make((3, 4))
+        gradient_check(lambda a: a.mean(axis=0).sum(), [a])
+
+    def test_mean_tuple_axis(self):
+        a = make((2, 3, 4))
+        gradient_check(lambda a: a.mean(axis=(1, 2)).sum(), [a])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = make((2, 6))
+        gradient_check(lambda a: (a.reshape(3, 4) * 2.0).sum(), [a])
+
+    def test_transpose_default(self):
+        a = make((2, 3))
+        w = RNG.standard_normal((3, 2))
+        gradient_check(lambda a: (a.T * w).sum(), [a])
+
+    def test_transpose_axes(self):
+        a = make((2, 3, 4))
+        gradient_check(lambda a: a.transpose((2, 0, 1)).sum(), [a])
+
+    def test_concat(self):
+        a, b = make((2, 3)), make((2, 2))
+        gradient_check(lambda a, b: (ops.concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self):
+        a, b = make((3,)), make((3,))
+        gradient_check(lambda a, b: (ops.stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_getitem_row(self):
+        a = make((4, 3))
+        gradient_check(lambda a: a[1].sum(), [a])
+
+    def test_getitem_fancy(self):
+        a = make((4, 3))
+        idx = (np.array([0, 1, 1]), np.array([2, 0, 0]))
+        gradient_check(lambda a: (a[idx] ** 2).sum(), [a])
+
+    def test_pad2d(self):
+        a = make((1, 2, 3, 3))
+        gradient_check(lambda a: (ops.pad2d(a, 1) ** 2).sum(), [a])
+
+
+class TestMatmul:
+    def test_2d(self):
+        a, b = make((3, 4)), make((4, 2))
+        gradient_check(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_vec_mat(self):
+        a, b = make((4,)), make((4, 2))
+        gradient_check(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_mat_vec(self):
+        a, b = make((3, 4)), make((4,))
+        gradient_check(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched(self):
+        a, b = make((2, 3, 4)), make((2, 4, 2))
+        gradient_check(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched_broadcast(self):
+        a, b = make((2, 3, 4)), make((4, 2))
+        gradient_check(lambda a, b: (a @ b).sum(), [a, b])
+
+
+class TestSoftmax:
+    def test_softmax_rows(self):
+        a = make((3, 5))
+        w = RNG.standard_normal((3, 5))
+        gradient_check(lambda a: (a.softmax(axis=-1) * w).sum(), [a])
+
+    def test_softmax_sums_to_one(self):
+        a = make((4, 7))
+        s = a.softmax(axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_log_softmax(self):
+        a = make((3, 5))
+        w = RNG.standard_normal((3, 5))
+        gradient_check(lambda a: (a.log_softmax(axis=-1) * w).sum(), [a])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = make((2, 6))
+        np.testing.assert_allclose(
+            a.log_softmax().data, np.log(a.softmax().data), atol=1e-12
+        )
+
+    def test_softmax_stability_large_values(self):
+        a = Tensor([[1000.0, 1000.1, 999.9]], requires_grad=True)
+        s = a.softmax()
+        assert np.all(np.isfinite(s.data))
+
+
+class TestGraphSemantics:
+    def test_no_grad_blocks_graph(self):
+        a = make((3,))
+        with no_grad():
+            out = (a * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = make((3,))
+        out = (a.detach() * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_backward_accumulates_over_calls(self):
+        a = make((3,))
+        (a * 2.0).sum().backward()
+        first = a.grad.copy()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0 * first)
+
+    def test_backward_requires_scalar(self):
+        a = make((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            a.sum().backward()
+
+    def test_diamond_graph(self):
+        a = make((3,))
+
+        def fn(a):
+            b = a * 2.0
+            return (b * b + b).sum()
+
+        gradient_check(fn, [a])
+
+    def test_interior_nodes_do_not_retain_grad(self):
+        a = make((3,))
+        b = a * 2.0
+        c = b.sum()
+        c.backward()
+        assert b.grad is None
+        assert a.grad is not None
+
+    def test_zero_grad(self):
+        a = make((3,))
+        (a * 1.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None

@@ -1,0 +1,184 @@
+"""Tests for baseline methods and the Sec. 5.2 meta-search."""
+
+import numpy as np
+import pytest
+
+from repro.arch import cifar_space
+from repro.baselines import (
+    GPU_HOURS_PER_SEARCH,
+    MetaSearch,
+    run_autonba,
+    run_dance,
+    run_dance_soft,
+    run_hdx,
+    run_nas_then_hw,
+)
+from repro.core import ConstraintSet, SearchResult
+from repro.estimator import pretrain_estimator
+
+SPACE = cifar_space()
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    from repro.experiments.common import get_estimator
+
+    return get_estimator("cifar10")
+
+
+class TestMethodWrappers:
+    def test_dance_does_not_manipulate(self, estimator):
+        r = run_dance(SPACE, estimator, seed=0, epochs=60)
+        assert r.method == "DANCE"
+        assert not any(rec.manipulated_alpha for rec in r.history)
+
+    def test_hdx_manipulates_under_tight_constraint(self, estimator):
+        r = run_hdx(SPACE, estimator, ConstraintSet.latency(16.6), seed=0)
+        assert r.method == "HDX"
+        assert any(rec.manipulated_alpha for rec in r.history)
+
+    def test_hdx_satisfies_constraint(self, estimator):
+        r = run_hdx(SPACE, estimator, ConstraintSet.latency(16.6), seed=1)
+        assert r.in_constraint
+
+    def test_autonba_uses_direct_beta(self, estimator):
+        from repro.core.coexplore import CoExplorer, SearchConfig, _DirectBeta
+
+        config = SearchConfig(use_generator=False, hard_constraints=False)
+        explorer = CoExplorer(SPACE, estimator, config)
+        assert isinstance(explorer.generator, _DirectBeta)
+        r = run_autonba(SPACE, estimator, seed=0, epochs=60)
+        assert r.method == "Auto-NBA"
+
+    def test_dance_soft_accepts_soft_lambda(self, estimator):
+        r = run_dance_soft(
+            SPACE, estimator, ConstraintSet.latency(16.6), soft_lambda=1.0, epochs=60
+        )
+        assert r.method == "DANCE+Soft"
+
+    def test_soft_constraint_pushes_latency_down(self, estimator):
+        plain = run_dance(SPACE, estimator, lambda_cost=0.001, seed=2, epochs=120)
+        soft = run_dance_soft(
+            SPACE,
+            estimator,
+            ConstraintSet.latency(16.6),
+            soft_lambda=2.0,
+            lambda_cost=0.001,
+            seed=2,
+            epochs=120,
+        )
+        assert soft.metrics.latency_ms < plain.metrics.latency_ms
+
+    def test_nas_then_hw_uses_exhaustive_hw_search(self, estimator):
+        """The NAS->HW config must be cost-optimal for its architecture."""
+        from repro.accelerator import cost_hw, exhaustive_search
+
+        r = run_nas_then_hw(SPACE, estimator, seed=0, epochs=60)
+        best_cfg, best_metrics = exhaustive_search(r.arch, objective=cost_hw)
+        assert r.cost == pytest.approx(cost_hw(best_metrics), rel=1e-9)
+
+    def test_nas_then_hw_constraint_filter(self, estimator):
+        r = run_nas_then_hw(
+            SPACE,
+            estimator,
+            size_penalty_lambda=2.0,
+            seed=0,
+            epochs=60,
+            constraints=ConstraintSet.latency(40.0),
+        )
+        assert r.metrics.latency_ms <= 40.0
+
+    def test_size_penalty_shrinks_network(self, estimator):
+        small = run_nas_then_hw(SPACE, estimator, size_penalty_lambda=5.0, seed=3, epochs=120)
+        big = run_nas_then_hw(SPACE, estimator, size_penalty_lambda=0.0, seed=3, epochs=120)
+        assert small.arch.total_macs() < big.arch.total_macs()
+
+    def test_gpu_hours_table_complete(self):
+        for method in ("NAS->HW", "Auto-NBA", "DANCE", "DANCE+Soft", "HDX"):
+            assert method in GPU_HOURS_PER_SEARCH
+
+
+class TestMetaSearch:
+    @staticmethod
+    def make_fake_search(threshold: float = 0.01, base: float = 40.0):
+        """A deterministic fake: metric halves per control doubling."""
+
+        def fn(control, seed):
+            value = base * (threshold / control) ** 0.5
+            from repro.accelerator import HardwareMetrics
+            from repro.arch import NetworkArch
+
+            arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+            from repro.accelerator import AcceleratorConfig, Dataflow
+
+            cfg = AcceleratorConfig(12, 8, 64, Dataflow.RS)
+            return SearchResult(
+                arch=arch,
+                config=cfg,
+                metrics=HardwareMetrics(value, 10.0, 2.0),
+                error_percent=5.0,
+                loss_nas=0.6,
+                cost=10.0,
+                constraints=ConstraintSet(),
+                in_constraint=True,
+            )
+
+        return fn
+
+    def test_accepts_in_band_immediately(self):
+        fn = self.make_fake_search()
+        # control s.t. first try lands inside [0.5T, T].
+        ms = MetaSearch("DANCE", fn, "latency", target=41.0, initial_control=0.01)
+        r = ms.run()
+        assert r.n_searches == 1 and r.accepted
+
+    def test_doubles_until_feasible(self):
+        fn = self.make_fake_search()
+        ms = MetaSearch("DANCE", fn, "latency", target=20.0, initial_control=0.01)
+        r = ms.run()
+        assert r.accepted
+        assert r.n_searches > 1
+        assert r.control_values[1] == pytest.approx(0.02)
+
+    def test_shrinks_after_overshoot(self):
+        fn = self.make_fake_search()
+        # Start way too strong: first solution far below 50% of target.
+        ms = MetaSearch("DANCE", fn, "latency", target=35.0, initial_control=100.0)
+        r = ms.run()
+        assert r.accepted
+        assert r.control_values[1] < 100.0
+
+    def test_gpu_hours_accounting(self):
+        fn = self.make_fake_search()
+        ms = MetaSearch("DANCE", fn, "latency", target=20.0, initial_control=0.01)
+        r = ms.run()
+        assert r.gpu_hours == pytest.approx(r.n_searches * GPU_HOURS_PER_SEARCH["DANCE"])
+
+    def test_max_searches_cap(self):
+        def never_feasible(control, seed):
+            return self.make_fake_search()(1e-12, seed)  # always ~huge latency
+
+        ms = MetaSearch("DANCE", never_feasible, "latency", 1.0, 0.01, max_searches=4)
+        r = ms.run()
+        assert r.n_searches == 4
+        assert not r.accepted
+
+    def test_invalid_args(self):
+        fn = self.make_fake_search()
+        with pytest.raises(ValueError):
+            MetaSearch("DANCE", fn, "latency", target=-1.0, initial_control=0.1)
+        with pytest.raises(ValueError):
+            MetaSearch("DANCE", fn, "latency", target=10.0, initial_control=0.0)
+
+    def test_real_dance_meta_search_converges(self, estimator):
+        cs = ConstraintSet.latency(16.6)
+
+        def fn(control, seed):
+            return run_dance(
+                SPACE, estimator, lambda_cost=control, seed=seed, constraints=cs, epochs=100
+            )
+
+        ms = MetaSearch("DANCE", fn, "latency", target=16.6, initial_control=0.001)
+        r = ms.run(seed=0)
+        assert r.accepted
+        assert 1 < r.n_searches <= 12

@@ -1,0 +1,207 @@
+"""Integration tests for the co-exploration loop (surrogate fidelity).
+
+These run real searches end-to-end with a shared pre-trained
+estimator; reduced epoch counts keep them fast while still exercising
+the constraint machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import cifar_space
+from repro.core import CoExplorer, ConstraintSet, SearchConfig
+from repro.estimator import pretrain_estimator
+from repro.surrogate import AccuracySurrogate
+
+SPACE = cifar_space()
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    # Production-quality pre-training: constraint satisfaction depends
+    # on estimator accuracy (the paper quotes >99%), so tests must not
+    # run with a deliberately weakened cost model.  The experiments
+    # disk cache avoids re-training in every test module.
+    from repro.experiments.common import get_estimator
+
+    return get_estimator("cifar10")
+
+
+def run(estimator, **overrides):
+    defaults = dict(epochs=80, seed=0)
+    defaults.update(overrides)
+    return CoExplorer(SPACE, estimator, SearchConfig(**defaults)).search()
+
+
+class TestSearchMechanics:
+    def test_unfrozen_estimator_rejected(self):
+        from repro.estimator import CostEstimator
+
+        est = CostEstimator(SPACE)
+        with pytest.raises(ValueError):
+            CoExplorer(SPACE, est, SearchConfig())
+
+    def test_full_fidelity_requires_dataset(self, estimator):
+        with pytest.raises(ValueError):
+            CoExplorer(SPACE, estimator, SearchConfig(fidelity="full"))
+
+    def test_unknown_fidelity_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            CoExplorer(SPACE, estimator, SearchConfig(fidelity="quantum"))
+
+    def test_history_length_matches_epochs(self, estimator):
+        result = run(estimator, epochs=40)
+        assert len(result.history) == 40
+
+    def test_result_fields_populated(self, estimator):
+        result = run(estimator, epochs=40)
+        assert result.arch is not None
+        assert result.metrics.latency_ms > 0
+        assert result.cost > 0
+        assert 3.0 < result.error_percent < 12.0
+
+    def test_deterministic_given_seed(self, estimator):
+        a = run(estimator, epochs=40, seed=3)
+        b = run(estimator, epochs=40, seed=3)
+        assert a.arch == b.arch
+        assert a.config == b.config
+
+    def test_seeds_differ(self, estimator):
+        archs = {run(estimator, epochs=60, seed=s).arch for s in range(4)}
+        assert len(archs) > 1
+
+    def test_ground_truth_metrics_reported(self, estimator):
+        """Reported metrics must come from the oracle, not the estimator."""
+        from repro.accelerator import evaluate_network
+
+        result = run(estimator, epochs=40)
+        truth = evaluate_network(result.arch, result.config)
+        assert result.metrics == truth
+
+
+class TestConstraintBehaviour:
+    def test_unconstrained_never_manipulates(self, estimator):
+        result = run(estimator, epochs=40, hard_constraints=True)
+        assert not any(r.manipulated_alpha for r in result.history)
+
+    def test_loose_constraint_not_binding(self, estimator):
+        result = run(estimator, constraints=ConstraintSet.latency(500.0))
+        assert result.in_constraint
+        # Essentially never violated during search either.
+        violated_epochs = sum(r.violated for r in result.history)
+        assert violated_epochs <= 2
+
+    def test_tight_constraint_triggers_manipulation(self, estimator):
+        result = run(estimator, constraints=ConstraintSet.latency(16.6), epochs=150)
+        assert any(r.manipulated_alpha for r in result.history)
+
+    def test_tight_constraint_satisfied(self, estimator):
+        result = run(
+            estimator,
+            constraints=ConstraintSet.latency(16.6),
+            epochs=150,
+            lambda_cost=0.001,
+        )
+        assert result.in_constraint, f"landed at {result.metrics.latency_ms:.1f} ms"
+
+    def test_constraint_costs_accuracy(self, estimator):
+        free = run(estimator, hard_constraints=False, epochs=150)
+        tight = run(estimator, constraints=ConstraintSet.latency(16.6), epochs=150)
+        assert tight.metrics.latency_ms < free.metrics.latency_ms
+        assert tight.error_percent >= free.error_percent - 0.2
+
+    def test_delta_grows_during_violation(self, estimator):
+        result = run(estimator, constraints=ConstraintSet.latency(16.6), epochs=150)
+        deltas = [r.delta for r in result.history if r.violated]
+        if len(deltas) > 10:
+            assert max(deltas) > deltas[0]
+
+    def test_disabled_hard_constraints_ignore_violations(self, estimator):
+        result = run(
+            estimator,
+            constraints=ConstraintSet.latency(16.6),
+            hard_constraints=False,
+            method_name="DANCE",
+            epochs=60,
+        )
+        assert not any(r.manipulated_alpha for r in result.history)
+
+
+class TestBaselineSwitches:
+    def test_direct_beta_mode(self, estimator):
+        result = run(estimator, use_generator=False, epochs=60)
+        assert result.config is not None
+
+    def test_soft_constraint_mode(self, estimator):
+        result = run(
+            estimator,
+            hard_constraints=False,
+            soft_lambda=0.5,
+            constraints=ConstraintSet.latency(16.6),
+            epochs=60,
+        )
+        assert result is not None
+
+    def test_nas_only_mode_ignores_hardware(self, estimator):
+        result = run(estimator, include_cost_term=False, hard_constraints=False, epochs=60)
+        # Without the cost term the search maximizes capacity only.
+        free = run(estimator, hard_constraints=False, lambda_cost=0.005, epochs=60)
+        assert result.error_percent <= free.error_percent + 0.3
+
+    def test_lambda_cost_controls_tradeoff(self, estimator):
+        low = run(estimator, hard_constraints=False, lambda_cost=0.001, epochs=120, seed=1)
+        high = run(estimator, hard_constraints=False, lambda_cost=0.01, epochs=120, seed=1)
+        assert high.metrics.latency_ms < low.metrics.latency_ms
+        assert high.error_percent > low.error_percent
+
+
+class TestSurrogate:
+    def test_expected_error_in_band(self):
+        surrogate = AccuracySurrogate(SPACE, seed=0)
+        from repro.arch import NetworkArch
+
+        rng = np.random.default_rng(0)
+        errors = [surrogate.error_of(NetworkArch.random(SPACE, rng)) for _ in range(30)]
+        assert min(errors) > 3.5
+        assert max(errors) < 9.0
+
+    def test_capacity_monotone_in_choice_quality(self):
+        surrogate = AccuracySurrogate(SPACE, seed=0)
+        from repro.arch import NetworkArch
+
+        weak = NetworkArch.from_indices(SPACE, [0] * 18)  # (3,3) everywhere
+        strong = NetworkArch.from_indices(SPACE, [5] * 18)  # (7,6) everywhere
+        assert surrogate.error_of(strong) < surrogate.error_of(weak)
+
+    def test_loss_tracks_error(self):
+        surrogate = AccuracySurrogate(SPACE, seed=0)
+        from repro.arch import NetworkArch
+
+        a = NetworkArch.from_indices(SPACE, [0] * 18)
+        b = NetworkArch.from_indices(SPACE, [5] * 18)
+        assert (surrogate.loss_of(a) > surrogate.loss_of(b)) == (
+            surrogate.error_of(a) > surrogate.error_of(b)
+        )
+
+    def test_trained_error_noise_is_seeded(self):
+        surrogate = AccuracySurrogate(SPACE, seed=0)
+        from repro.arch import NetworkArch
+
+        arch = NetworkArch.from_indices(SPACE, [2] * 18)
+        assert surrogate.trained_error(arch, seed=1) == surrogate.trained_error(arch, seed=1)
+        assert surrogate.trained_error(arch, seed=1) != surrogate.trained_error(arch, seed=2)
+
+    def test_landscape_jitter_changes_scores(self):
+        a = AccuracySurrogate(SPACE, seed=0)
+        b = AccuracySurrogate(SPACE, seed=0, landscape_jitter=0.2, jitter_seed=5)
+        assert not np.allclose(a._scores, b._scores)
+
+    def test_differentiable_loss(self):
+        from repro.autodiff import Tensor
+        from repro.arch.encoding import arch_features_from_alpha
+
+        surrogate = AccuracySurrogate(SPACE, seed=0)
+        alpha = Tensor(np.zeros((SPACE.num_layers, SPACE.num_choices)), requires_grad=True)
+        feats = arch_features_from_alpha(SPACE, alpha)
+        surrogate.loss_nas(feats).backward()
+        assert alpha.grad is not None and np.any(alpha.grad != 0)

@@ -1,0 +1,243 @@
+"""Tests for gradient manipulation (Eqs. 4/7/8), delta policy, constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator import HardwareMetrics
+from repro.autodiff import Tensor
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    DeltaPolicy,
+    flatten_gradients,
+    manipulate_gradient,
+    minimum_norm_correction,
+    unflatten_gradient,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestMinimumNormCorrection:
+    def test_guarantee_equality(self):
+        """(m* + g_loss) . g_const == delta exactly (Eq. 7 derivation)."""
+        g_loss = RNG.standard_normal(20)
+        g_const = RNG.standard_normal(20)
+        delta = 0.3
+        m = minimum_norm_correction(g_loss, g_const, delta)
+        assert (m + g_loss) @ g_const == pytest.approx(delta, rel=1e-9)
+
+    def test_correction_parallel_to_constraint_gradient(self):
+        g_loss = RNG.standard_normal(10)
+        g_const = RNG.standard_normal(10)
+        m = minimum_norm_correction(g_loss, g_const, 0.1)
+        cos = m @ g_const / (np.linalg.norm(m) * np.linalg.norm(g_const))
+        assert abs(abs(cos) - 1.0) < 1e-9
+
+    def test_minimum_norm_property(self):
+        """In the manipulation case (g_loss . g_const < 0), m* has the
+        smallest norm among all m with (m+g).gc >= delta."""
+        g_loss = RNG.standard_normal(8)
+        g_const = RNG.standard_normal(8)
+        if g_loss @ g_const >= 0:
+            g_loss = -g_loss  # force the disagreeing case
+        delta = 0.2
+        m_star = minimum_norm_correction(g_loss, g_const, delta)
+        for _ in range(50):
+            other = m_star + RNG.standard_normal(8) * 0.1
+            if (other + g_loss) @ g_const >= delta - 1e-12:
+                assert np.linalg.norm(other) >= np.linalg.norm(m_star) - 1e-9
+
+    def test_zero_constraint_gradient_gives_zero(self):
+        g_loss = RNG.standard_normal(5)
+        m = minimum_norm_correction(g_loss, np.zeros(5), 0.5)
+        np.testing.assert_array_equal(m, np.zeros(5))
+
+    def test_norm_cap(self):
+        g_loss = RNG.standard_normal(5) * 10
+        g_const = RNG.standard_normal(5) * 1e-4  # tiny -> exact m explodes
+        m = minimum_norm_correction(g_loss, g_const, 0.5, max_norm=1.0)
+        assert np.linalg.norm(m) <= 1.0 + 1e-9
+
+    def test_cap_preserves_direction(self):
+        g_loss = -RNG.standard_normal(5)
+        g_const = RNG.standard_normal(5)
+        uncapped = minimum_norm_correction(g_loss, g_const, 10.0)
+        capped = minimum_norm_correction(g_loss, g_const, 10.0, max_norm=0.1)
+        cos = capped @ uncapped / (np.linalg.norm(capped) * np.linalg.norm(uncapped))
+        assert cos == pytest.approx(1.0, abs=1e-9)
+
+
+class TestManipulateGradient:
+    def test_satisfied_constraint_is_identity(self):
+        g_loss = RNG.standard_normal(6)
+        g_const = RNG.standard_normal(6)
+        out, applied = manipulate_gradient(g_loss, g_const, violated=False, delta=0.1)
+        np.testing.assert_array_equal(out, g_loss)
+        assert not applied
+
+    def test_agreeing_gradients_unchanged(self):
+        g_const = RNG.standard_normal(6)
+        g_loss = g_const * 2.0  # perfectly aligned
+        out, applied = manipulate_gradient(g_loss, g_const, violated=True, delta=0.1)
+        np.testing.assert_array_equal(out, g_loss)
+        assert not applied
+
+    def test_disagreeing_gradients_manipulated(self):
+        g_const = RNG.standard_normal(6)
+        g_loss = -g_const  # opposed
+        out, applied = manipulate_gradient(g_loss, g_const, violated=True, delta=0.1)
+        assert applied
+        assert out @ g_const == pytest.approx(0.1, rel=1e-9)
+
+    def test_orthogonal_gradients_not_manipulated(self):
+        g_const = np.array([1.0, 0.0])
+        g_loss = np.array([0.0, 1.0])  # dot == 0 counts as agreement
+        _, applied = manipulate_gradient(g_loss, g_const, violated=True, delta=0.1)
+        assert not applied
+
+    @given(
+        dim=st.integers(2, 30),
+        delta=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_descent_guarantee_property(self, dim, delta, seed):
+        """After manipulation, a gradient step never increases the
+        constraint loss to first order: g . g_const >= 0 always."""
+        rng = np.random.default_rng(seed)
+        g_loss = rng.standard_normal(dim)
+        g_const = rng.standard_normal(dim)
+        out, _ = manipulate_gradient(g_loss, g_const, violated=True, delta=delta)
+        assert out @ g_const >= -1e-9
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip(self):
+        params = [RNG.standard_normal((3, 4)), RNG.standard_normal(5)]
+        grads = [RNG.standard_normal((3, 4)), RNG.standard_normal(5)]
+        flat = flatten_gradients(grads, params)
+        restored = unflatten_gradient(flat, params)
+        for a, b in zip(grads, restored):
+            np.testing.assert_array_equal(a, b)
+
+    def test_none_gradients_become_zero(self):
+        params = [RNG.standard_normal(4)]
+        flat = flatten_gradients([None], params)
+        np.testing.assert_array_equal(flat, np.zeros(4))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unflatten_gradient(np.zeros(3), [np.zeros(4)])
+
+    def test_empty(self):
+        assert flatten_gradients([], []).size == 0
+
+
+class TestDeltaPolicy:
+    def test_grows_while_violated(self):
+        policy = DeltaPolicy(delta0=1.0, p=0.5)
+        policy.update(True)
+        assert policy.delta == pytest.approx(1.5)
+        policy.update(True)
+        assert policy.delta == pytest.approx(2.25)
+
+    def test_resets_on_satisfaction(self):
+        policy = DeltaPolicy(delta0=1.0, p=0.5)
+        policy.update(True)
+        policy.update(True)
+        policy.update(False)
+        assert policy.delta == 1.0
+
+    def test_geometric_growth_rate(self):
+        policy = DeltaPolicy(delta0=1e-4, p=1e-2)
+        for _ in range(100):
+            policy.update(True)
+        assert policy.delta == pytest.approx(1e-4 * 1.01**100, rel=1e-9)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            DeltaPolicy(delta0=0.0)
+        with pytest.raises(ValueError):
+            DeltaPolicy(delta0=1.0, p=0.0)
+
+    def test_reset(self):
+        policy = DeltaPolicy(delta0=2.0, p=0.1)
+        policy.update(True)
+        policy.reset()
+        assert policy.delta == 2.0
+
+
+class TestConstraints:
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError):
+            Constraint("power", 10.0)
+        with pytest.raises(ValueError):
+            Constraint("latency", -1.0)
+
+    def test_violation_value(self):
+        c = Constraint("latency", 33.3)
+        assert c.violation(40.0) == pytest.approx(6.7)
+        assert c.violation(30.0) == 0.0
+
+    def test_satisfied_by(self):
+        c = Constraint("energy", 10.0)
+        assert c.satisfied_by(HardwareMetrics(50.0, 9.0, 2.0))
+        assert not c.satisfied_by(HardwareMetrics(50.0, 11.0, 2.0))
+
+    def test_set_from_dict(self):
+        cs = ConstraintSet.from_dict({"latency": 16.6, "area": 2.0})
+        assert len(cs) == 2
+
+    def test_latency_factory(self):
+        cs = ConstraintSet.latency(33.3)
+        assert len(cs) == 1
+        assert cs.constraints[0].metric == "latency"
+
+    def test_empty_set_is_falsy(self):
+        assert not ConstraintSet()
+        assert ConstraintSet.latency(1.0)
+
+    def test_violated_ordering(self):
+        cs = ConstraintSet.from_dict({"energy": 10.0})
+        # values tuple is (latency, energy, area)
+        assert cs.violated((100.0, 11.0, 3.0))
+        assert not cs.violated((100.0, 9.0, 3.0))
+
+    def test_all_satisfied(self):
+        cs = ConstraintSet.from_dict({"latency": 20.0, "energy": 10.0})
+        assert cs.all_satisfied(HardwareMetrics(19.0, 9.0, 2.0))
+        assert not cs.all_satisfied(HardwareMetrics(21.0, 9.0, 2.0))
+
+    def test_constraint_loss_zero_when_satisfied(self):
+        cs = ConstraintSet.latency(100.0)
+        metrics = Tensor(np.array([50.0, 10.0, 2.0]), requires_grad=True)
+        loss = cs.constraint_loss(metrics)
+        assert loss.item() == 0.0
+
+    def test_constraint_loss_positive_and_differentiable(self):
+        cs = ConstraintSet.latency(30.0)
+        metrics = Tensor(np.array([40.0, 10.0, 2.0]), requires_grad=True)
+        loss = cs.constraint_loss(metrics)
+        assert loss.item() > 0
+        loss.backward()
+        assert metrics.grad is not None
+        assert metrics.grad[0] > 0  # pushing latency down
+        assert metrics.grad[1] == 0  # energy unconstrained
+
+    def test_multi_constraint_loss_sums(self):
+        cs = ConstraintSet.from_dict({"latency": 30.0, "energy": 5.0})
+        metrics = Tensor(np.array([40.0, 10.0, 2.0]), requires_grad=True)
+        loss = cs.constraint_loss(metrics)
+        loss.backward()
+        assert metrics.grad[0] > 0 and metrics.grad[1] > 0
+
+    def test_empty_constraint_loss_is_zero_scalar(self):
+        cs = ConstraintSet()
+        metrics = Tensor(np.array([40.0, 10.0, 2.0]), requires_grad=True)
+        assert cs.constraint_loss(metrics).item() == 0.0
+
+    def test_str(self):
+        assert "latency" in str(ConstraintSet.latency(16.6))
+        assert str(ConstraintSet()) == "unconstrained"

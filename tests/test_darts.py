@@ -1,0 +1,79 @@
+"""Tests for the DARTS-style mixed-operation supernet."""
+
+import numpy as np
+
+from repro import nn
+from repro.arch.darts import DartsSuperNet
+from repro.arch.space import SearchSpace
+from repro.autodiff import Tensor
+
+
+def tiny_space():
+    return SearchSpace(
+        name="tiny-darts",
+        input_size=32,
+        train_input_size=8,
+        num_classes=4,
+        stem_channels=16,
+        train_stem_channels=4,
+        stage_plan=[(16, 4, 2, 1), (32, 6, 1, 2)],
+    )
+
+
+class TestDartsSuperNet:
+    def test_forward_shape(self):
+        space = tiny_space()
+        net = DartsSuperNet(space)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 8, 8)))
+        assert net(x).shape == (2, 4)
+
+    def test_all_candidates_receive_gradients(self):
+        """Unlike path sampling, DARTS trains every candidate each step."""
+        space = tiny_space()
+        net = DartsSuperNet(space)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3, 8, 8)))
+        nn.cross_entropy(net(x), np.zeros(2, dtype=int)).backward()
+        for candidates in net.layer_candidates:
+            for block in candidates:
+                convs = [m for m in block.modules() if isinstance(m, nn.Conv2d)]
+                if convs:  # skip Identity candidates
+                    assert convs[0].weight.grad is not None
+
+    def test_alpha_receives_exact_gradient(self):
+        space = tiny_space()
+        net = DartsSuperNet(space)
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 3, 8, 8)))
+        nn.cross_entropy(net(x), np.zeros(2, dtype=int)).backward()
+        assert net.alpha.grad is not None
+        assert np.any(net.alpha.grad != 0)
+
+    def test_extreme_alpha_matches_single_candidate(self):
+        """With one-hot alpha the mixture equals that candidate's path."""
+        space = tiny_space()
+        net = DartsSuperNet(space, seed=0)
+        net.alpha.data[:, 0] = 60.0  # candidate 0 everywhere
+        x = Tensor(np.random.default_rng(3).standard_normal((1, 3, 8, 8)))
+        mixed = net(x).data
+
+        out = net.stem(x)
+        for candidates in net.layer_candidates:
+            out = candidates[0](out)
+        direct = net.head(out).data
+        np.testing.assert_allclose(mixed, direct, atol=1e-6)
+
+    def test_dominant_arch(self):
+        space = tiny_space()
+        net = DartsSuperNet(space)
+        net.alpha.data[:, 2] = 5.0
+        arch = net.dominant_arch()
+        assert all(i == 2 for i in arch.to_indices())
+
+    def test_parameter_partition(self):
+        net = DartsSuperNet(tiny_space())
+        assert net.alpha not in net.weight_parameters()
+        assert net.arch_parameters() == [net.alpha]
+
+    def test_arch_features_shape(self):
+        space = tiny_space()
+        net = DartsSuperNet(space)
+        assert net.arch_features().shape == (space.num_layers * space.num_choices,)

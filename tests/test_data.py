@@ -1,0 +1,154 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor
+from repro.data import (
+    DataLoader,
+    RandomAugment,
+    cifar10_like,
+    imagenet_like,
+    train_val_split,
+)
+
+
+class TestGenerators:
+    def test_cifar_shapes(self):
+        ds = cifar10_like(n_samples=100, size=16)
+        assert ds.images.shape == (100, 3, 16, 16)
+        assert ds.labels.shape == (100,)
+        assert ds.num_classes == 10
+
+    def test_imagenet_shapes(self):
+        ds = imagenet_like(n_samples=50, size=24, num_classes=20)
+        assert ds.images.shape == (50, 3, 24, 24)
+        assert ds.num_classes == 20
+
+    def test_deterministic_by_seed(self):
+        a = cifar10_like(n_samples=20, seed=7)
+        b = cifar10_like(n_samples=20, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = cifar10_like(n_samples=20, seed=1)
+        b = cifar10_like(n_samples=20, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_standardized(self):
+        ds = cifar10_like(n_samples=500)
+        assert abs(ds.images.mean()) < 1e-8
+        assert ds.images.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_classes_present(self):
+        ds = cifar10_like(n_samples=500)
+        assert set(np.unique(ds.labels)) == set(range(10))
+
+    def test_mismatched_lengths_raise(self):
+        from repro.data import SyntheticImageDataset
+
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(np.zeros((3, 1, 2, 2)), np.zeros(2, dtype=int), 2)
+
+    def test_subset(self):
+        ds = cifar10_like(n_samples=30)
+        sub = ds.subset(np.arange(5))
+        assert len(sub) == 5
+        np.testing.assert_array_equal(sub.images, ds.images[:5])
+
+
+class TestSplitAndLoader:
+    def test_split_sizes(self):
+        ds = cifar10_like(n_samples=100)
+        train, val = train_val_split(ds, val_fraction=0.3)
+        assert len(train) == 70 and len(val) == 30
+
+    def test_split_disjoint(self):
+        ds = cifar10_like(n_samples=60)
+        train, val = train_val_split(ds, val_fraction=0.5, seed=3)
+        # Fingerprint rows to confirm disjointness.
+        train_keys = {img.tobytes() for img in train.images}
+        val_keys = {img.tobytes() for img in val.images}
+        assert not train_keys & val_keys
+
+    def test_split_invalid_fraction(self):
+        ds = cifar10_like(n_samples=10)
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=1.5)
+
+    def test_loader_batches(self):
+        ds = cifar10_like(n_samples=50)
+        loader = DataLoader(ds, batch_size=16, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[0][0].shape == (16, 3, 16, 16)
+        assert batches[-1][0].shape == (2, 3, 16, 16)
+
+    def test_loader_drop_last(self):
+        ds = cifar10_like(n_samples=50)
+        loader = DataLoader(ds, batch_size=16, drop_last=True)
+        assert len(list(loader)) == 3
+        assert len(loader) == 3
+
+    def test_loader_covers_all_samples(self):
+        ds = cifar10_like(n_samples=40)
+        loader = DataLoader(ds, batch_size=7, shuffle=True, seed=5)
+        seen = sum(len(labels) for _, labels in loader)
+        assert seen == 40
+
+    def test_loader_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(cifar10_like(n_samples=5), batch_size=0)
+
+
+class TestAugmentation:
+    def test_preserves_shape(self):
+        ds = cifar10_like(n_samples=8)
+        aug = RandomAugment(seed=0)
+        out = aug(ds.images)
+        assert out.shape == ds.images.shape
+
+    def test_does_not_mutate_input(self):
+        ds = cifar10_like(n_samples=8)
+        original = ds.images.copy()
+        RandomAugment(seed=0)(ds.images)
+        np.testing.assert_array_equal(ds.images, original)
+
+    def test_cutout_zeroes_region(self):
+        images = np.ones((4, 3, 16, 16))
+        aug = RandomAugment(flip_prob=0, max_shift=0, cutout_prob=1.0, brightness=0, seed=1)
+        out = aug(images)
+        assert (out == 0).any()
+
+    def test_identity_config_is_noop(self):
+        images = np.random.default_rng(0).standard_normal((4, 3, 8, 8))
+        aug = RandomAugment(flip_prob=0, max_shift=0, cutout_size=0, brightness=0)
+        np.testing.assert_array_equal(aug(images), images)
+
+
+class TestLearnability:
+    def test_convnet_beats_chance(self):
+        """A small convnet must learn the synthetic task well above chance."""
+        ds = cifar10_like(n_samples=400, size=12, noise=0.4, seed=0)
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv2d(3, 12, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.AvgPool2d(2),
+            nn.Conv2d(12, 16, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(16, 10, rng=rng),
+        )
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        loader = DataLoader(ds, batch_size=64, seed=0)
+        for _ in range(6):
+            for images, labels in loader:
+                opt.zero_grad()
+                nn.cross_entropy(model(Tensor(images)), labels).backward()
+                opt.step()
+        # Evaluate on the training distribution.
+        acc = nn.accuracy(model(Tensor(ds.images[:200])), ds.labels[:200])
+        assert acc > 0.5  # chance is 0.1

@@ -1,0 +1,178 @@
+"""Tests for the cost dataset, estimator, and hardware generator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, DesignSpace, evaluate_network
+from repro.arch import NetworkArch, cifar_space
+from repro.arch.encoding import (
+    arch_features_from_indices,
+    extended_feature_dim,
+    extended_features_from_indices,
+)
+from repro.autodiff import Tensor
+from repro.estimator import (
+    CostEstimator,
+    HardwareGenerator,
+    build_cost_dataset,
+    estimator_accuracy,
+    train_estimator,
+)
+
+SPACE = cifar_space()
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return build_cost_dataset(SPACE, n_samples=600, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_estimator(small_dataset):
+    est = CostEstimator(SPACE, width=64, seed=0)
+    train_estimator(est, small_dataset, epochs=30, seed=0)
+    est.freeze()
+    return est
+
+
+class TestDataset:
+    def test_shapes(self, small_dataset):
+        assert small_dataset.features.shape == (600, extended_feature_dim(SPACE) + 6)
+        assert small_dataset.targets.shape == (600, 3)
+
+    def test_targets_positive(self, small_dataset):
+        assert np.all(small_dataset.targets > 0)
+
+    def test_normalization_roundtrip(self, small_dataset):
+        normalized = small_dataset.normalized_targets()
+        restored = small_dataset.denormalize(normalized)
+        np.testing.assert_allclose(restored, small_dataset.targets, rtol=1e-10)
+
+    def test_normalized_targets_standardized(self, small_dataset):
+        normalized = small_dataset.normalized_targets()
+        np.testing.assert_allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalized.std(axis=0), 1.0, atol=1e-6)
+
+    def test_split_disjoint_sizes(self, small_dataset):
+        train, val = small_dataset.split(0.25, seed=1)
+        assert len(train) == 450 and len(val) == 150
+
+    def test_deterministic(self):
+        a = build_cost_dataset(SPACE, n_samples=20, seed=3)
+        b = build_cost_dataset(SPACE, n_samples=20, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+
+class TestEstimator:
+    def test_training_reduces_loss(self, small_dataset):
+        est = CostEstimator(SPACE, width=64, seed=1)
+        losses = train_estimator(est, small_dataset, epochs=20, seed=0)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_accuracy_above_90_percent(self, trained_estimator, small_dataset):
+        acc = estimator_accuracy(trained_estimator, small_dataset)
+        for name, value in acc.items():
+            assert value > 0.90, f"{name} accuracy {value:.3f} too low"
+
+    def test_generalizes_to_unseen_pairs(self, trained_estimator):
+        rng = np.random.default_rng(99)
+        ds_space = DesignSpace()
+        errors = []
+        for _ in range(30):
+            arch = NetworkArch.random(SPACE, rng)
+            cfg = ds_space.sample(rng)
+            truth = evaluate_network(arch, cfg)
+            feats = np.concatenate(
+                [extended_features_from_indices(SPACE, arch.to_indices()), cfg.to_vector()]
+            )
+            pred = trained_estimator.predict_numpy(feats.reshape(1, -1))[0]
+            errors.append(abs(pred[0] - truth.latency_ms) / truth.latency_ms)
+        assert np.mean(errors) < 0.15
+
+    def test_predict_metrics_differentiable(self, trained_estimator):
+        arch_feats = Tensor(
+            extended_features_from_indices(SPACE, [0] * SPACE.num_layers),
+            requires_grad=True,
+        )
+        accel = Tensor(AcceleratorConfig.from_vector(np.array([0.5] * 3 + [1, 0, 0])).to_vector(), requires_grad=True)
+        metrics = trained_estimator.predict_metrics(arch_feats, accel)
+        metrics.sum().backward()
+        assert arch_feats.grad is not None
+        assert accel.grad is not None
+
+    def test_frozen_estimator_params_get_no_grad(self, trained_estimator):
+        arch_feats = Tensor(
+            extended_features_from_indices(SPACE, [0] * SPACE.num_layers),
+            requires_grad=True,
+        )
+        accel = Tensor(np.array([0.5, 0.5, 0.5, 1.0, 0.0, 0.0]), requires_grad=True)
+        trained_estimator.zero_grad()
+        trained_estimator.predict_metrics(arch_feats, accel).sum().backward()
+        for p in trained_estimator.parameters():
+            assert p.grad is None
+
+    def test_predict_metric_by_name(self, trained_estimator):
+        arch_feats = Tensor(extended_features_from_indices(SPACE, [0] * SPACE.num_layers))
+        accel = Tensor(np.array([0.5, 0.5, 0.5, 1.0, 0.0, 0.0]))
+        all_metrics = trained_estimator.predict_metrics(arch_feats, accel)
+        lat = trained_estimator.predict_metric(arch_feats, accel, "latency")
+        assert lat.shape == ()
+        assert lat.item() == pytest.approx(all_metrics.data[0])
+
+    def test_normalization_buffers_in_state_dict(self, trained_estimator):
+        state = trained_estimator.state_dict()
+        assert "target_mean" in state and "target_std" in state
+
+
+class TestGenerator:
+    def test_output_shape_and_range(self):
+        gen = HardwareGenerator(SPACE, seed=0)
+        feats = Tensor(arch_features_from_indices(SPACE, [0] * SPACE.num_layers))
+        out = gen(feats)
+        assert out.shape == (6,)
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+
+    def test_dataflow_part_sums_to_one(self):
+        gen = HardwareGenerator(SPACE, seed=0)
+        feats = Tensor(arch_features_from_indices(SPACE, [1] * SPACE.num_layers))
+        out = gen(feats)
+        assert out.data[3:].sum() == pytest.approx(1.0)
+
+    def test_discretize_returns_valid_config(self):
+        gen = HardwareGenerator(SPACE, seed=2)
+        feats = Tensor(arch_features_from_indices(SPACE, [2] * SPACE.num_layers))
+        cfg = gen.discretize(feats)
+        assert isinstance(cfg, AcceleratorConfig)
+
+    def test_generator_is_trainable(self):
+        gen = HardwareGenerator(SPACE, seed=0)
+        feats = Tensor(arch_features_from_indices(SPACE, [0] * SPACE.num_layers))
+        gen(feats).sum().backward()
+        grads = [p.grad for p in gen.parameters()]
+        assert any(g is not None and np.any(g != 0) for g in grads)
+
+    def test_different_archs_can_give_different_configs(self):
+        gen = HardwareGenerator(SPACE, seed=3)
+        a = gen(Tensor(arch_features_from_indices(SPACE, [0] * SPACE.num_layers)))
+        b = gen(Tensor(arch_features_from_indices(SPACE, [5] * SPACE.num_layers)))
+        assert not np.allclose(a.data, b.data)
+
+
+class TestEndToEndDifferentiablePath:
+    def test_gradient_flows_alpha_to_metrics_through_generator(self, trained_estimator):
+        """The full eval() composition of the paper: est(alpha, gen(alpha))."""
+        from repro.arch.encoding import arch_features_from_alpha, extended_features_from_alpha
+
+        gen = HardwareGenerator(SPACE, seed=0)
+        alpha = Tensor(np.zeros((SPACE.num_layers, SPACE.num_choices)), requires_grad=True)
+        feats = arch_features_from_alpha(SPACE, alpha)
+        ext_feats = extended_features_from_alpha(SPACE, alpha)
+        beta = gen(feats)
+        metrics = trained_estimator.predict_metrics(ext_feats, beta)
+        metrics.sum().backward()
+        assert alpha.grad is not None
+        assert np.any(alpha.grad != 0)
+        assert all(
+            p.grad is not None for p in gen.parameters()
+        ), "generator must receive gradients"

@@ -1,0 +1,47 @@
+"""Examples must at least parse and expose a main() entry point."""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def example_files():
+    return sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+
+
+class TestExamples:
+    def test_at_least_four_examples(self):
+        assert len(example_files()) >= 4
+
+    @pytest.mark.parametrize("name", example_files())
+    def test_parses(self, name):
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            tree = ast.parse(handle.read(), filename=name)
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions, f"{name} must define main()"
+
+    @pytest.mark.parametrize("name", example_files())
+    def test_has_module_docstring(self, name):
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            tree = ast.parse(handle.read(), filename=name)
+        assert ast.get_docstring(tree), f"{name} needs a docstring"
+
+    @pytest.mark.parametrize("name", example_files())
+    def test_imports_resolve(self, name):
+        """Every repro.* import used by an example must exist."""
+        import importlib
+
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            tree = ast.parse(handle.read(), filename=name)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{name}: {node.module}.{alias.name} missing"
+                    )

@@ -1,0 +1,97 @@
+"""Smoke tests for the experiment drivers (reduced settings).
+
+The heavy shape assertions live in ``benchmarks/``; these only check
+the drivers produce well-formed rows and renderable output quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import ascii_scatter, format_table, get_space
+from repro.experiments.fig1 import Fig1Row, render_fig1
+from repro.experiments.fig4 import run_fig4, render_fig4
+from repro.experiments.table1 import Table1Row, render_table1
+from repro.experiments.fig5 import run_fig5, render_fig5
+
+
+class TestCommon:
+    def test_get_space_memoized(self):
+        assert get_space("cifar10") is get_space("cifar10")
+        assert get_space("imagenet").name == "imagenet"
+
+    def test_estimator_cached_in_process(self):
+        a = common.get_estimator("cifar10")
+        b = common.get_estimator("cifar10")
+        assert a is b
+        assert a.frozen
+
+    def test_estimator_disk_cache_roundtrip(self):
+        import os
+
+        path = common._cache_path("cifar10")
+        assert os.path.exists(path)
+        # Force a reload from disk and verify identical predictions.
+        common._ESTIMATORS.pop("cifar10")
+        reloaded = common.get_estimator("cifar10")
+        feats = np.zeros((1, reloaded.mlp.in_proj.in_features))
+        first = reloaded.predict_numpy(feats)
+        common._ESTIMATORS["cifar10"] = reloaded
+        assert np.all(np.isfinite(first))
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_ascii_scatter(self):
+        text = ascii_scatter([1, 2, 3], [1, 4, 9], ["a", "b", "c"], width=20, height=5)
+        assert "a" in text and "c" in text
+
+    def test_ascii_scatter_empty(self):
+        assert ascii_scatter([], [], []) == "(no data)"
+
+    def test_ascii_scatter_degenerate_range(self):
+        text = ascii_scatter([1, 1], [2, 2], ["x", "x"], width=10, height=4)
+        assert "x" in text
+
+
+class TestRenderers:
+    def test_render_fig1(self):
+        rows = [
+            Fig1Row(0.001, s, 30.0 + s, 10.0, 4.5 + 0.1 * s) for s in range(3)
+        ] + [Fig1Row(0.005, s, 20.0 - s, 7.0, 5.0) for s in range(3)]
+        text = render_fig1(rows)
+        assert "lambda" in text
+        assert "0.001" in text and "0.005" in text
+
+    def test_render_table1(self):
+        rows = [
+            Table1Row("DANCE", False, True, 5.2, 9.6, 5.4, 1.0),
+            Table1Row("HDX", True, True, 1.0, 2.0, 4.9, 1.0),
+        ]
+        text = render_table1(rows)
+        assert "HDX" in text and "5.2" in text
+
+
+class TestFastDrivers:
+    """Drivers that are cheap enough to smoke-test directly."""
+
+    def test_fig4_reduced(self):
+        curves = run_fig4(epochs=30, seed=0)
+        assert len(curves) == 3
+        for curve in curves:
+            assert len(curve.epochs) == 30
+        assert "Fig. 4" in render_fig4(curves)
+
+    def test_fig5_reduced(self):
+        solutions = run_fig5(epochs=60, seed=0)
+        assert len(solutions) == 2
+        text = render_fig5(solutions)
+        assert "60 FPS" in text and "Accelerator" in text

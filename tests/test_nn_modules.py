@@ -1,0 +1,193 @@
+"""Tests for the module system, layers, and residual MLPs."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, gradient_check
+
+RNG = np.random.default_rng(2)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_registration(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        layer = nn.Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad(self):
+        layer = nn.Linear(4, 3)
+        out = layer(Tensor(RNG.standard_normal((2, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(4, 4), nn.Dropout(0.5))
+        model.eval()
+        assert not model.layers[1].training
+        model.train()
+        assert model.layers[1].training
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.BatchNorm1d(8), nn.Linear(8, 2))
+        # Push data through to change BN statistics.
+        model(Tensor(RNG.standard_normal((16, 4))))
+        state = model.state_dict()
+        clone = nn.Sequential(nn.Linear(4, 8), nn.BatchNorm1d(8), nn.Linear(8, 2))
+        clone.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(
+            model.layers[1].running_mean, clone.layers[1].running_mean
+        )
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Linear(4, 3)
+        bad = {"weight": np.zeros((2, 2)), "bias": np.zeros(3)}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = nn.Linear(4, 3)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 4))})
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(6, 3)
+        assert layer(Tensor(RNG.standard_normal((5, 6)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(6, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self):
+        layer = nn.Linear(3, 2)
+        x = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        gradient_check(
+            lambda x, w, b: ((x @ w.T + b) ** 2).sum(), [x, layer.weight, layer.bias]
+        )
+
+
+class TestConv2dModule:
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        out = conv(Tensor(RNG.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_depthwise(self):
+        conv = nn.Conv2d(4, 4, kernel_size=3, padding=1, groups=4)
+        assert conv.weight.shape == (4, 1, 3, 3)
+        out = conv(Tensor(RNG.standard_normal((1, 4, 6, 6))))
+        assert out.shape == (1, 4, 6, 6)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self):
+        bn = nn.BatchNorm1d(5)
+        x = Tensor(RNG.standard_normal((64, 5)) * 3.0 + 2.0)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor(np.ones((8, 3)) * 4.0)
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(3)
+        for _ in range(200):
+            bn(Tensor(RNG.standard_normal((32, 3)) + 5.0))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 3), 5.0)))
+        assert np.allclose(out.data, 0.0, atol=0.3)
+
+    def test_bn2d_shape(self):
+        bn = nn.BatchNorm2d(6)
+        out = bn(Tensor(RNG.standard_normal((2, 6, 4, 4))))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_bn2d_normalizes_per_channel(self):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(RNG.standard_normal((8, 3, 5, 5)) * 2.0 - 1.0)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-8)
+
+    def test_gradient_flows(self):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(RNG.standard_normal((8, 4)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None
+
+
+class TestResidualMLP:
+    def test_five_layer_structure(self):
+        mlp = nn.ResidualMLP(10, 3, width=32, n_layers=5)
+        # in_proj + 1 residual block (2 layers) + extra + out_proj = 5 linears.
+        linear_count = builtins_count_linears(mlp)
+        assert linear_count == 5
+
+    def test_output_shape(self):
+        mlp = nn.ResidualMLP(10, 3, width=16)
+        assert mlp(Tensor(RNG.standard_normal((7, 10)))).shape == (7, 3)
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            nn.ResidualMLP(4, 2, n_layers=2)
+
+    def test_gradients_reach_input_projection(self):
+        mlp = nn.ResidualMLP(6, 2, width=8)
+        out = mlp(Tensor(RNG.standard_normal((3, 6))))
+        (out**2).sum().backward()
+        assert mlp.in_proj.weight.grad is not None
+        assert np.any(mlp.in_proj.weight.grad != 0)
+
+    def test_block_residual_identity_property(self):
+        block = nn.ResidualMLPBlock(8)
+        # Zero both layers: output must be relu(x).
+        block.fc1.weight.data[...] = 0
+        block.fc2.weight.data[...] = 0
+        x = Tensor(RNG.standard_normal((4, 8)))
+        np.testing.assert_allclose(block(x).data, np.maximum(x.data, 0))
+
+
+def builtins_count_linears(module: nn.Module) -> int:
+    return sum(1 for m in module.modules() if isinstance(m, nn.Linear))
+
+
+class TestActivationsAndPooling:
+    def test_relu6_clamps(self):
+        act = nn.ReLU6()
+        out = act(Tensor([-3.0, 3.0, 9.0]))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_global_avg_pool(self):
+        pool = nn.GlobalAvgPool2d()
+        x = Tensor(np.ones((2, 3, 4, 4)) * 2.0)
+        np.testing.assert_allclose(pool(x).data, np.full((2, 3), 2.0))
+
+    def test_flatten(self):
+        flat = nn.Flatten()
+        assert flat(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_identity(self):
+        ident = nn.Identity()
+        x = Tensor(RNG.standard_normal((3, 3)))
+        np.testing.assert_array_equal(ident(x).data, x.data)

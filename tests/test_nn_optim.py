@@ -1,0 +1,197 @@
+"""Tests for losses, optimizers, and LR schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor
+
+RNG = np.random.default_rng(3)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(math.log(10.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((3, 5), -100.0)
+        logits[np.arange(3), [1, 2, 3]] = 100.0
+        loss = nn.cross_entropy(Tensor(logits, requires_grad=True), [1, 2, 3])
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_cross_entropy_gradient_shape(self):
+        logits = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        nn.cross_entropy(logits, RNG.integers(0, 4, 6)).backward()
+        assert logits.grad.shape == (6, 4)
+        # Rows of softmax-minus-onehot divided by N sum to ~0.
+        assert np.allclose(logits.grad.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_mse(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        loss = nn.mse_loss(pred, [0.0, 0.0])
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_l1(self):
+        pred = Tensor([1.0, -3.0], requires_grad=True)
+        assert nn.l1_loss(pred, [0.0, 0.0]).item() == pytest.approx(2.0)
+
+    def test_accuracy(self):
+        logits = Tensor([[2.0, 1.0], [0.0, 3.0], [5.0, 1.0]])
+        assert nn.accuracy(logits, [0, 1, 1]) == pytest.approx(2.0 / 3.0)
+
+
+def quadratic_param():
+    return Tensor(np.array([5.0, -3.0]), requires_grad=True)
+
+
+class TestSGD:
+    def test_plain_sgd_descends_quadratic(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-4)
+
+    def test_momentum_faster_than_plain_on_ill_conditioned(self):
+        scales = np.array([1.0, 100.0])
+
+        def run(momentum):
+            p = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+            opt = nn.SGD([p], lr=0.009, momentum=momentum)
+            for _ in range(60):
+                opt.zero_grad()
+                ((p * p) * scales).sum().backward()
+                opt.step()
+            return float(np.abs(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_nesterov_requires_momentum(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.1, nesterov=True)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero loss gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_set_gradients_roundtrip(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        grads = opt.gradients()
+        opt.set_gradients([g * 2 for g in grads])
+        np.testing.assert_allclose(p.grad, 2 * grads[0])
+
+
+class TestAdam:
+    def test_adam_descends_quadratic(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.allclose(p.data, 0.0, atol=1e-3)
+
+    def test_adam_first_step_magnitude(self):
+        # With bias correction the first update is about lr in magnitude.
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = nn.Adam([p], lr=0.1)
+        (p * 1.0).sum().backward()
+        opt.step()
+        assert abs(10.0 - p.data[0]) == pytest.approx(0.1, rel=1e-4)
+
+    def test_skips_params_without_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.Adam([a, b], lr=0.1)
+        (a * a).sum().backward()
+        opt.step()
+        assert b.data[0] == 1.0
+
+
+class TestSchedulers:
+    def test_cosine_endpoints(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == 1.0
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_midpoint(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_cosine_min_lr(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=4, min_lr=0.1)
+        for _ in range(8):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_lr(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_t_max(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(opt, t_max=0)
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self):
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0, 1, 1, 0])
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Linear(2, 16, rng=rng), nn.Tanh(), nn.Linear(16, 2, rng=rng)
+        )
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) == 1.0
+
+    def test_tiny_convnet_overfits_batch(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 2, 8, 8))
+        y = rng.integers(0, 3, 8)
+        model = nn.Sequential(
+            nn.Conv2d(2, 6, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(6, 3, rng=rng),
+        )
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            nn.cross_entropy(model(Tensor(x)), y).backward()
+            opt.step()
+        assert nn.accuracy(model(Tensor(x)), y) >= 0.9

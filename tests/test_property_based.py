@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core data structures and math.
+
+These complement the targeted unit tests with randomized invariants:
+autodiff gradients always match finite differences on composed
+expressions, encodings stay on the probability simplex, architecture
+statistics behave monotonically, and the delta policy never escapes
+its invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.arch import NetworkArch, cifar_space
+from repro.arch.encoding import (
+    arch_features_from_alpha,
+    extended_features_from_indices,
+    summary_from_probs,
+)
+from repro.autodiff import Tensor, gradient_check, ops
+from repro.core import DeltaPolicy, manipulate_gradient
+from repro.core.constraints import Constraint, ConstraintSet
+
+SPACE = cifar_space()
+
+
+# ----------------------------------------------------------------------
+# Autodiff: randomized composed expressions
+# ----------------------------------------------------------------------
+UNARY_OPS = {
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "exp_scaled": lambda t: (t * 0.3).exp(),
+    "relu": ops.relu,
+    "softmax": lambda t: ops.softmax(t, axis=-1),
+}
+
+
+@st.composite
+def expression_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(2, 5))
+    m = draw(st.integers(2, 5))
+    op_names = draw(st.lists(st.sampled_from(sorted(UNARY_OPS)), min_size=1, max_size=3))
+    return seed, n, m, op_names
+
+
+class TestAutodiffProperties:
+    @given(expression_case())
+    @settings(max_examples=40, deadline=None)
+    def test_composed_expression_gradients(self, case):
+        seed, n, m, op_names = case
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal((n, m)), requires_grad=True)
+        b = Tensor(rng.standard_normal((m, n)), requires_grad=True)
+        weights = rng.standard_normal((n, n))
+
+        def fn(a, b):
+            out = a @ b
+            for name in op_names:
+                out = UNARY_OPS[name](out)
+            return (out * weights).sum()
+
+        gradient_check(fn, [a, b], rtol=1e-3, atol=1e-5)
+
+    @given(st.integers(0, 1000), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_linearity(self, seed, k):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((k, 3))
+        t = Tensor(x, requires_grad=True)
+        (t.sum() * 2.0).backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, 2.0))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_simplex(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((4, 9)) * 5.0)
+        s = ops.softmax(x, axis=-1).data
+        assert np.all(s >= 0)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Encodings
+# ----------------------------------------------------------------------
+class TestEncodingProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_soft_encoding_simplex_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        alpha = Tensor(rng.standard_normal((SPACE.num_layers, SPACE.num_choices)) * 3)
+        rows = arch_features_from_alpha(SPACE, alpha).data.reshape(
+            SPACE.num_layers, SPACE.num_choices
+        )
+        np.testing.assert_allclose(rows.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(rows >= 0)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_extended_features_finite_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        arch = NetworkArch.random(SPACE, rng)
+        feats = extended_features_from_indices(SPACE, arch.to_indices())
+        assert np.all(np.isfinite(feats))
+        assert feats.min() >= 0.0
+        # Totals are normalized to <= ~max-network scale.
+        assert feats.max() <= SPACE.num_layers + 1
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_summary_macs_matches_conv_expansion(self, seed):
+        """Expected MACs under a one-hot encoding equals the block MACs
+        of the discrete network (stem excluded)."""
+        rng = np.random.default_rng(seed)
+        arch = NetworkArch.random(SPACE, rng)
+        one_hot = np.zeros((SPACE.num_layers, SPACE.num_choices))
+        for li, idx in enumerate(arch.to_indices()):
+            one_hot[li, idx] = 1.0
+        summary = summary_from_probs(SPACE, one_hot.reshape(-1)).data
+        stem_macs = arch.conv_layers()[0].macs
+        block_macs = arch.total_macs() - stem_macs
+        from repro.arch.encoding import _choice_stats
+
+        stats = _choice_stats(SPACE)
+        max_total = sum(stats[0, li].max() for li in range(SPACE.num_layers))
+        # stats are normalized; undo normalization for the comparison.
+        denominator = block_macs_normalizer(stats)
+        np.testing.assert_allclose(
+            summary[0], block_macs / denominator, rtol=1e-9
+        )
+
+
+def block_macs_normalizer(stats) -> float:
+    """Recover the normalization constant used by _choice_stats."""
+    space = SPACE
+    raw = np.zeros_like(stats[0])
+    for li, spec in enumerate(space.layers):
+        for ci, choice in enumerate(spec.candidates()):
+            if choice.is_skip:
+                continue
+            mid = spec.in_channels * choice.expand
+            macs = 0.0
+            if choice.expand != 1:
+                macs += spec.in_channels * mid * spec.in_size**2
+            macs += mid * choice.kernel**2 * spec.out_size**2
+            macs += mid * spec.out_channels * spec.out_size**2
+            raw[li, ci] = macs
+    return sum(raw[li].max() for li in range(space.num_layers))
+
+
+# ----------------------------------------------------------------------
+# Architecture statistics
+# ----------------------------------------------------------------------
+class TestArchProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_macs_weights_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        arch = NetworkArch.random(SPACE, rng)
+        assert arch.total_macs() > 0
+        assert arch.total_weights() > 0
+        assert 0 < arch.depth() <= SPACE.num_layers
+
+    @given(st.integers(0, 5000), st.integers(0, 17))
+    @settings(max_examples=40, deadline=None)
+    def test_upgrading_one_layer_never_reduces_macs(self, seed, layer):
+        """Replacing (3,3) by (7,6) in any layer increases MACs."""
+        rng = np.random.default_rng(seed)
+        indices = [int(rng.integers(0, 6)) for _ in range(SPACE.num_layers)]
+        indices[layer] = 0  # (3,3)
+        low = NetworkArch.from_indices(SPACE, indices).total_macs()
+        indices[layer] = 5  # (7,6)
+        high = NetworkArch.from_indices(SPACE, indices).total_macs()
+        assert high > low
+
+
+# ----------------------------------------------------------------------
+# Gradient manipulation and delta policy
+# ----------------------------------------------------------------------
+class TestManipulationProperties:
+    @given(
+        st.integers(2, 40),
+        st.floats(1e-6, 1.0),
+        st.integers(0, 10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_finite_and_guaranteed(self, dim, delta, seed, violated):
+        rng = np.random.default_rng(seed)
+        g_loss = rng.standard_normal(dim) * rng.uniform(0.1, 10)
+        g_const = rng.standard_normal(dim) * rng.uniform(0.1, 10)
+        out, applied = manipulate_gradient(g_loss, g_const, violated, delta)
+        assert np.all(np.isfinite(out))
+        if violated:
+            assert out @ g_const >= -1e-8
+        else:
+            assert not applied
+            np.testing.assert_array_equal(out, g_loss)
+
+    @given(st.floats(1e-6, 1.0), st.floats(1e-6, 0.5), st.lists(st.booleans(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_policy_invariants(self, delta0, p, pattern):
+        policy = DeltaPolicy(delta0=delta0, p=p)
+        for violated in pattern:
+            policy.update(violated)
+            assert policy.delta >= delta0 * (1 - 1e-12)
+            if not violated:
+                assert policy.delta == pytest.approx(delta0)
+
+
+class TestConstraintProperties:
+    @given(
+        st.floats(0.1, 100.0),
+        st.floats(0.1, 200.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_violation_nonnegative(self, bound, value):
+        c = Constraint("latency", bound)
+        v = c.violation(value)
+        assert v >= 0
+        assert (v > 0) == (value > bound)
+
+    @given(st.floats(1.0, 100.0), st.floats(0.1, 200.0))
+    @settings(max_examples=40, deadline=None)
+    def test_constraint_loss_gradient_sign(self, bound, value):
+        assume(abs(value - bound) > 1e-6)
+        cs = ConstraintSet.latency(bound)
+        metrics = Tensor(np.array([value, 1.0, 1.0]), requires_grad=True)
+        loss = cs.constraint_loss(metrics)
+        if value > bound:
+            loss.backward()
+            assert metrics.grad[0] > 0
+        else:
+            assert loss.item() == 0.0

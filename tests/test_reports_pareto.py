@@ -1,0 +1,124 @@
+"""Tests for mapping reports and Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator import AcceleratorConfig, Dataflow, evaluate_network
+from repro.accelerator.pareto import dominates, hypervolume_2d, pareto_front
+from repro.accelerator.report import report_layer, report_network
+from repro.arch import NetworkArch, cifar_space
+from repro.arch.network import ConvLayerDesc
+
+SPACE = cifar_space()
+CONFIG = AcceleratorConfig(16, 16, 128, Dataflow.RS)
+ARCH = NetworkArch.from_indices(SPACE, [1] * SPACE.num_layers)
+
+
+class TestLayerReport:
+    def test_bottleneck_is_one_of_three(self):
+        rep = report_layer(ConvLayerDesc(64, 64, 3, 1, 16), CONFIG)
+        assert rep.bottleneck in ("compute", "buffer", "dram")
+
+    def test_energy_breakdown_sums_to_total(self):
+        rep = report_layer(ConvLayerDesc(64, 64, 3, 1, 16), CONFIG)
+        assert sum(rep.energy_breakdown.values()) == pytest.approx(rep.energy_mj)
+
+    def test_depthwise_flag(self):
+        rep = report_layer(ConvLayerDesc(64, 64, 3, 1, 16, groups=64), CONFIG)
+        assert rep.is_depthwise
+
+    def test_breakdown_components(self):
+        rep = report_layer(ConvLayerDesc(32, 32, 5, 1, 8), CONFIG)
+        assert set(rep.energy_breakdown) == {"mac", "rf", "buffer", "dram", "noc"}
+        assert all(v >= 0 for v in rep.energy_breakdown.values())
+
+
+class TestNetworkReport:
+    def test_totals_match_evaluate_network(self):
+        report = report_network(ARCH, CONFIG)
+        truth = evaluate_network(ARCH, CONFIG)
+        assert report.total_latency_ms == pytest.approx(truth.latency_ms)
+        assert report.total_energy_mj == pytest.approx(truth.energy_mj, rel=1e-9)
+
+    def test_layer_count(self):
+        report = report_network(ARCH, CONFIG)
+        assert len(report.layers) == len(ARCH.conv_layers())
+
+    def test_bottleneck_shares_sum_to_one(self):
+        report = report_network(ARCH, CONFIG)
+        assert sum(report.bottleneck_share().values()) == pytest.approx(1.0)
+
+    def test_mean_utilization_bounded(self):
+        report = report_network(ARCH, CONFIG)
+        assert 0 < report.mean_utilization <= 1.0
+
+    def test_dominant_energy_component(self):
+        report = report_network(ARCH, CONFIG)
+        assert report.dominant_energy_component() in ("mac", "rf", "buffer", "dram", "noc")
+
+    def test_render_contains_layers(self):
+        text = report_network(ARCH, CONFIG).render()
+        assert "Mapping report" in text
+        assert "bottlenecks" in text
+        assert text.count("\n") > len(ARCH.conv_layers())
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1, 5), (2, 2), (5, 1), (3, 3), (6, 6)]
+        front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+        assert set(front) == {(1, 5), (2, 2), (5, 1)}
+
+    def test_single_item(self):
+        assert pareto_front([(1, 1)], [lambda p: p[0], lambda p: p[1]]) == [(1, 1)]
+
+    def test_empty(self):
+        assert pareto_front([], [lambda p: p[0]]) == []
+
+    def test_duplicates_kept(self):
+        points = [(1, 1), (1, 1)]
+        front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+        assert len(front) == 2  # neither strictly dominates the other
+
+    def test_dominates(self):
+        assert dominates((1, 1), (2, 2))
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (2, 2))
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_not_dominated(self, points):
+        front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+        assert front  # at least one survivor
+        for f in front:
+            assert not any(dominates(o, f) for o in points)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], (2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_two_point_union(self):
+        assert hypervolume_2d([(0, 2), (2, 0)], (3, 3)) == pytest.approx(5.0)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume_2d([(5.0, 5.0)], (2.0, 2.0)) == 0.0
+
+    def test_dominated_point_adds_nothing(self):
+        lone = hypervolume_2d([(1, 1)], (3, 3))
+        with_dominated = hypervolume_2d([(1, 1), (2, 2)], (3, 3))
+        assert with_dominated == pytest.approx(lone)
+
+    def test_better_front_bigger_volume(self):
+        weak = hypervolume_2d([(2, 2)], (4, 4))
+        strong = hypervolume_2d([(1, 1)], (4, 4))
+        assert strong > weak

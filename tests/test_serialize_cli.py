@@ -1,0 +1,156 @@
+"""Tests for JSON serialization and the command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, Dataflow, HardwareMetrics
+from repro.arch import NetworkArch, cifar_space
+from repro.cli import build_parser, main
+from repro.core import ConstraintSet, SearchResult
+from repro.serialize import (
+    arch_from_dict,
+    arch_to_dict,
+    config_from_dict,
+    config_to_dict,
+    constraints_from_dict,
+    constraints_to_dict,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    space_by_name,
+)
+
+SPACE = cifar_space()
+
+
+def make_result() -> SearchResult:
+    arch = NetworkArch.from_indices(SPACE, [2] * SPACE.num_layers)
+    return SearchResult(
+        arch=arch,
+        config=AcceleratorConfig(14, 12, 64, Dataflow.WS),
+        metrics=HardwareMetrics(20.0, 8.0, 1.9),
+        error_percent=4.8,
+        loss_nas=0.7,
+        cost=7.0,
+        constraints=ConstraintSet.latency(33.3),
+        in_constraint=True,
+        method="HDX",
+    )
+
+
+class TestSerialization:
+    def test_arch_roundtrip(self):
+        arch = NetworkArch.from_indices(SPACE, list(range(SPACE.num_layers)))
+        restored = arch_from_dict(arch_to_dict(arch), SPACE)
+        assert restored == arch
+
+    def test_arch_space_mismatch_raises(self):
+        data = {"space": "imagenet", "indices": [0] * 21}
+        with pytest.raises(ValueError):
+            arch_from_dict(data, SPACE)
+
+    def test_space_by_name(self):
+        assert space_by_name("cifar10").name == "cifar10"
+        assert space_by_name("imagenet").name == "imagenet"
+        with pytest.raises(ValueError):
+            space_by_name("mnist")
+
+    def test_config_roundtrip(self):
+        cfg = AcceleratorConfig(20, 24, 256, Dataflow.OS)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_constraints_roundtrip(self):
+        cs = ConstraintSet.from_dict({"latency": 16.6, "energy": 9.0})
+        restored = constraints_from_dict(constraints_to_dict(cs))
+        assert constraints_to_dict(restored) == {"latency": 16.6, "energy": 9.0}
+
+    def test_result_roundtrip(self):
+        result = make_result()
+        restored = result_from_dict(result_to_dict(result), SPACE)
+        assert restored.arch == result.arch
+        assert restored.config == result.config
+        assert restored.metrics == result.metrics
+        assert restored.in_constraint == result.in_constraint
+        assert restored.method == result.method
+
+    def test_save_load_file(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        result = make_result()
+        save_result(result, path)
+        restored = load_result(path, SPACE)
+        assert restored.arch == result.arch
+        # The file is valid, human-readable JSON.
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["method"] == "HDX"
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "--latency", "16.6"])
+        assert args.command == "search"
+        args = parser.parse_args(["experiment", "--name", "fig4"])
+        assert args.name == "fig4"
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hwsearch_runs(self, capsys):
+        indices = ",".join(["0"] * SPACE.num_layers)
+        code = main(["hwsearch", "--space", "cifar10", "--indices", indices,
+                     "--latency", "40.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best config" in out
+
+    def test_evaluate_saved_result(self, tmp_path, capsys):
+        path = str(tmp_path / "r.json")
+        result = make_result()
+        save_result(result, path)
+        code = main(["evaluate", "--result", path])
+        out = capsys.readouterr().out
+        assert "oracle" in out
+        assert code in (0, 1)  # depends on ground truth vs stored constraint
+
+    def test_report_saved_result(self, tmp_path, capsys):
+        path = str(tmp_path / "r.json")
+        save_result(make_result(), path)
+        code = main(["report", "--result", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mapping report" in out
+
+
+class TestCliSearch:
+    """End-to-end CLI searches (use the cached estimator, short runs)."""
+
+    def test_search_dance_writes_json(self, tmp_path, capsys):
+        out = str(tmp_path / "dance.json")
+        code = main([
+            "search", "--method", "dance", "--epochs", "40",
+            "--lambda-cost", "0.003", "--output", out,
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "[DANCE]" in stdout
+        restored = load_result(out, SPACE)
+        assert restored.method == "DANCE"
+
+    def test_search_hdx_requires_constraint(self, capsys):
+        code = main(["search", "--method", "hdx", "--epochs", "10"])
+        assert code == 2
+
+    def test_search_hdx_with_constraint(self, capsys):
+        code = main([
+            "search", "--method", "hdx", "--latency", "33.3", "--epochs", "120",
+            "--lambda-cost", "0.002",
+        ])
+        stdout = capsys.readouterr().out
+        assert "[HDX]" in stdout
+        assert code in (0, 1)

@@ -1,0 +1,134 @@
+"""Tests for the Tensor convenience API and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, as_tensor, no_grad, ops
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.data.dtype == np.float64
+
+    def test_from_scalar(self):
+        t = Tensor(3.0)
+        assert t.shape == ()
+        assert t.item() == 3.0
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_as_tensor_coerces(self):
+        t = as_tensor([1, 2, 3])
+        assert isinstance(t, Tensor)
+
+
+class TestProperties:
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_tolist(self):
+        assert Tensor([[1.0, 2.0]]).tolist() == [[1.0, 2.0]]
+
+    def test_numpy_shares_memory(self):
+        t = Tensor([1.0, 2.0])
+        t.numpy()[0] = 9.0
+        assert t.data[0] == 9.0
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 5.0
+        assert t.data[0] == 1.0
+        assert c.requires_grad
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestComparisons:
+    def test_comparison_returns_bool_array(self):
+        a = Tensor([1.0, 3.0])
+        mask = a > 2.0
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_tensor_tensor_comparison(self):
+        a, b = Tensor([1.0, 3.0]), Tensor([2.0, 2.0])
+        np.testing.assert_array_equal(a < b, [True, False])
+        np.testing.assert_array_equal(a >= b, [False, True])
+        np.testing.assert_array_equal(a <= b, [True, False])
+
+
+class TestGradFlags:
+    def test_default_no_grad(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_op_on_non_grad_inputs_has_no_grad(self):
+        out = Tensor([1.0]) + Tensor([2.0])
+        assert not out.requires_grad
+
+    def test_grad_propagates_through_mixed_inputs(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        out = a * b
+        assert out.requires_grad
+        out.sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_no_grad_inside_module_statistics(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            detached = a * 2.0
+        assert not detached.requires_grad
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                pass
+            inner = Tensor([1.0], requires_grad=True) * 1.0
+        assert not inner.requires_grad
+
+
+class TestNumericalEdges:
+    def test_log_softmax_extreme_logits(self):
+        t = Tensor([[1e8, -1e8]], requires_grad=True)
+        out = ops.log_softmax(t)
+        assert np.all(np.isfinite(out.data))
+
+    def test_division_gradient_near_small_denominator(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1e-3], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.isfinite(b.grad[0])
+
+    def test_flatten_batch(self):
+        t = Tensor(np.zeros((4, 2, 3)))
+        assert t.flatten_batch().shape == (4, 6)
+
+    def test_scalar_broadcast_ops(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = 1.0 + 2.0 * t - 0.5
+        out = out / 2.0
+        (out**2).sum().backward()
+        assert t.grad is not None
