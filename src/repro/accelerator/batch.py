@@ -2,19 +2,23 @@
 
 ``evaluate_network`` maps one network onto one accelerator; the
 NAS->HW baseline and design-space studies need the same network on all
-2295 configurations.  Doing that with the scalar path costs ~2 s per
-network; this module evaluates the whole space with NumPy array math
-in a few tens of milliseconds.
+2295 configurations, and decode repair needs it on an arbitrary
+neighbourhood of configurations.  Doing that with the scalar path
+costs ~2 s per network for the full space; this module evaluates any
+config batch with NumPy array math in a few tens of milliseconds
+(``evaluate_network_batch``), with the full space
+(``evaluate_network_space``) as the cached special case.
 
 The implementation mirrors :mod:`repro.accelerator.timeloop` exactly —
 ``test_batch_matches_scalar`` enforces bit-level agreement — so any
-change to the analytical model must be applied to both.
+change to the analytical model must be applied to both (and to the
+fleet engine's finalization; see DESIGN.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -237,12 +241,52 @@ def _layer_arrays(
     return latency_cycles, energy_pj
 
 
+def _config_arrays(
+    configs: Sequence[AcceleratorConfig],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened (rows, cols, rf, dataflow-index) arrays for a subset."""
+    rows = np.array([c.pe_rows for c in configs], dtype=float)
+    cols = np.array([c.pe_cols for c in configs], dtype=float)
+    rfs = np.array([c.rf_bytes for c in configs], dtype=float)
+    dfs = np.array([DATAFLOWS.index(c.dataflow) for c in configs])
+    return rows, cols, rfs, dfs
+
+
+def evaluate_network_batch(
+    arch: NetworkArch,
+    configs: Sequence[AcceleratorConfig],
+    energy_table: Optional[EnergyTable] = None,
+) -> SpaceEvaluation:
+    """Evaluate ``arch`` on an arbitrary batch of configurations.
+
+    Used by decode repair (the ~81-config neighbourhood scan) and any
+    caller holding a config subset; agrees with ``evaluate_network``
+    to float precision on every entry.
+    """
+    rows, cols, rf_bytes, df_index = _config_arrays(configs)
+    return _evaluate_arrays(
+        arch, rows, cols, rf_bytes, df_index, list(configs), energy_table
+    )
+
+
 def evaluate_network_space(
     arch: NetworkArch, energy_table: Optional[EnergyTable] = None
 ) -> SpaceEvaluation:
     """Evaluate ``arch`` on every accelerator configuration at once."""
-    table = energy_table or default_energy_table()
     rows, cols, rf_bytes, df_index, configs = _grid_cached()
+    return _evaluate_arrays(arch, rows, cols, rf_bytes, df_index, configs, energy_table)
+
+
+def _evaluate_arrays(
+    arch: NetworkArch,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rf_bytes: np.ndarray,
+    df_index: np.ndarray,
+    configs: List[AcceleratorConfig],
+    energy_table: Optional[EnergyTable],
+) -> SpaceEvaluation:
+    table = energy_table or default_energy_table()
     total_cycles = np.zeros_like(rows)
     total_pj = np.zeros_like(rows)
     for layer in arch.conv_layers():

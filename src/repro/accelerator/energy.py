@@ -11,6 +11,7 @@ access ~6x, a register-file access ~1x with mild growth in RF size.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,12 @@ class EnergyTable:
         return self.rf_base_pj + self.rf_per_log2_byte_pj * np.log2(rf_bytes)
 
 
+@functools.lru_cache(maxsize=1)
 def default_energy_table() -> EnergyTable:
-    """The table used by all experiments (deterministic)."""
+    """The table used by all experiments (deterministic).
+
+    Memoized: the table is immutable and this is called on every
+    ``evaluate_layer``/``evaluate_network``, which sit inside the
+    search hot loops (decode repair, estimator pre-training).
+    """
     return EnergyTable()

@@ -22,19 +22,40 @@ def arch_feature_dim(space: SearchSpace) -> int:
     return space.num_layers * space.num_choices
 
 
+_MASK_CACHE: dict = {}
+_BIAS_CACHE: dict = {}
+
+
 def candidate_mask(space: SearchSpace) -> np.ndarray:
-    """(L, C) boolean mask of valid candidate slots per layer."""
-    mask = np.zeros((space.num_layers, space.num_choices), dtype=bool)
-    for i, spec in enumerate(space.layers):
-        mask[i, : len(spec.candidates())] = True
-    return mask
+    """(L, C) boolean mask of valid candidate slots per layer.
+
+    Memoized per space (callers treat it as read-only): it sits on the
+    per-epoch search path of both engines.  Keyed on the space object
+    itself — an ``id()`` key would collide when a freed space's address
+    is reused; pinning the handful of spaces a process creates is the
+    cheaper failure mode.
+    """
+    if space not in _MASK_CACHE:
+        mask = np.zeros((space.num_layers, space.num_choices), dtype=bool)
+        for i, spec in enumerate(space.layers):
+            mask[i, : len(spec.candidates())] = True
+        _MASK_CACHE[space] = mask
+    return _MASK_CACHE[space]
 
 
 def alpha_bias(space: SearchSpace, fill: float = -1e9) -> np.ndarray:
-    """Additive bias that removes invalid slots from a masked softmax."""
-    bias = np.zeros((space.num_layers, space.num_choices))
-    bias[~candidate_mask(space)] = fill
-    return bias
+    """Additive bias that removes invalid slots from a masked softmax.
+
+    Memoized per (space, fill) — same per-epoch-path rationale (and
+    same object-keying) as :func:`candidate_mask`; callers must not
+    mutate the result.
+    """
+    key = (space, fill)
+    if key not in _BIAS_CACHE:
+        bias = np.zeros((space.num_layers, space.num_choices))
+        bias[~candidate_mask(space)] = fill
+        _BIAS_CACHE[key] = bias
+    return _BIAS_CACHE[key]
 
 
 def arch_features_from_indices(space: SearchSpace, indices: Sequence[int]) -> np.ndarray:
@@ -84,9 +105,8 @@ def _choice_stats(space: SearchSpace) -> np.ndarray:
     their expectation under the architecture distribution is linear in
     the probabilities, so the summary stays differentiable.
     """
-    key = id(space)
-    if key in _STATS_CACHE:
-        return _STATS_CACHE[key]
+    if space in _STATS_CACHE:
+        return _STATS_CACHE[space]
 
     stats = np.zeros((3, space.num_layers, space.num_choices))
     for li, spec in enumerate(space.layers):
@@ -114,7 +134,7 @@ def _choice_stats(space: SearchSpace) -> np.ndarray:
         total_max = sum(stats[s, li].max() for li in range(space.num_layers))
         if total_max > 0:
             stats[s] /= total_max
-    _STATS_CACHE[key] = stats
+    _STATS_CACHE[space] = stats
     return stats
 
 
@@ -153,3 +173,72 @@ def extended_features_from_indices(space: SearchSpace, indices: Sequence[int]) -
 
 def extended_feature_dim(space: SearchSpace) -> int:
     return arch_feature_dim(space) + summary_dim(space)
+
+
+# ----------------------------------------------------------------------
+# Batched (run-axis) encodings for the search fleet
+# ----------------------------------------------------------------------
+# These mirror the scalar functions above with a leading run axis; all
+# arithmetic is elementwise or reduces over trailing axes, so every row
+# is bitwise identical to the scalar path (the fleet parity contract,
+# see DESIGN.md).  They work on raw arrays — the fleet sits inside a
+# three-backward-passes-per-epoch hot loop and hand-writes the VJPs, so
+# wrapping these forwards in autodiff tensors would only add dispatch
+# cost.  ``tests/test_fleet_parity.py`` pins each of them against its
+# scalar twin.
+
+
+def arch_features_from_alpha_batch(space: SearchSpace, alpha: np.ndarray) -> np.ndarray:
+    """Batched masked-softmax encoding: (N, L, C) -> (N, L*C), raw arrays."""
+    alpha = np.asarray(alpha)
+    if alpha.shape[1:] != (space.num_layers, space.num_choices):
+        raise ValueError(
+            f"alpha shape {alpha.shape} does not match space "
+            f"(N, {space.num_layers}, {space.num_choices})"
+        )
+    biased = alpha + alpha_bias(space)
+    shifted = biased - biased.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    return probs.reshape(alpha.shape[0], -1)
+
+
+def arch_features_from_indices_batch(space: SearchSpace, indices: np.ndarray) -> np.ndarray:
+    """One-hot encodings of N discrete architectures: (N, L) -> (N, L*C)."""
+    indices = np.asarray(indices, dtype=int)
+    n = indices.shape[0]
+    n_valid = np.array([len(spec.candidates()) for spec in space.layers])
+    feats = np.zeros((n, space.num_layers, space.num_choices))
+    rows = np.arange(n)[:, None]
+    layers = np.arange(space.num_layers)[None, :]
+    feats[rows, layers, indices % n_valid] = 1.0
+    return feats.reshape(n, -1)
+
+
+def summary_from_probs_batch(space: SearchSpace, probs_flat: np.ndarray) -> np.ndarray:
+    """Batched expected workload summary: (N, L*C) -> (N, 3 + L), raw arrays.
+
+    The per-layer MACs term reuses the ``stats[0]`` product (the scalar
+    graph recomputes it as a separate node; the values are identical).
+    """
+    stats = _choice_stats(space)
+    probs = np.asarray(probs_flat)
+    n = probs.shape[0]
+    probs = probs.reshape(n, space.num_layers, space.num_choices)
+    weighted0 = probs * stats[0]
+    parts = [
+        weighted0.sum(axis=(1, 2)).reshape(n, 1),
+        (probs * stats[1]).sum(axis=(1, 2)).reshape(n, 1),
+        (probs * stats[2]).sum(axis=(1, 2)).reshape(n, 1),
+        weighted0.sum(axis=2) * space.num_layers,
+    ]
+    return np.concatenate(parts, axis=1)
+
+
+def extended_features_from_indices_batch(
+    space: SearchSpace, indices: np.ndarray
+) -> np.ndarray:
+    """Batched discrete extended features: (N, L) -> (N, L*C + 3 + L)."""
+    one_hot = arch_features_from_indices_batch(space, indices)
+    summary = summary_from_probs_batch(space, one_hot)
+    return np.concatenate([one_hot, summary], axis=1)

@@ -189,6 +189,13 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
             return unbroadcast(
                 (np.swapaxes(a.data, -1, -2) @ g[..., None])[..., 0], b.shape
             )
+        if a.data.shape[-2] == 1:
+            # Single-row LHS: the (..., K, 1) @ (..., 1, W) product is an
+            # outer product (one multiply per element), so a broadcast
+            # multiply is bitwise identical and skips the per-slice GEMM
+            # dispatch — this is the hot path for the (N, 1, F) stacked
+            # layouts of the search fleet and for (1, F) scalar rows.
+            return unbroadcast(np.swapaxes(a.data, -1, -2) * g, b.shape)
         return unbroadcast(np.swapaxes(a.data, -1, -2) @ g, b.shape)
 
     return Tensor._make(out, ((a, grad_a), (b, grad_b)), "matmul")

@@ -19,6 +19,12 @@ solution over-shoots below 50% of the target).
 
 from repro.baselines.methods import (
     GPU_HOURS_PER_SEARCH,
+    autonba_config,
+    dance_config,
+    dance_soft_config,
+    finalize_nas_then_hw,
+    hdx_config,
+    nas_then_hw_config,
     run_autonba,
     run_dance,
     run_dance_soft,
@@ -33,6 +39,12 @@ __all__ = [
     "run_dance_soft",
     "run_autonba",
     "run_hdx",
+    "nas_then_hw_config",
+    "dance_config",
+    "dance_soft_config",
+    "autonba_config",
+    "hdx_config",
+    "finalize_nas_then_hw",
     "GPU_HOURS_PER_SEARCH",
     "MetaSearch",
     "MetaSearchResult",

@@ -11,7 +11,7 @@ until the constrained metric lands in [50%, 100%] of the target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core import ConstraintSet, SearchResult
 from repro.baselines.methods import GPU_HOURS_PER_SEARCH
@@ -78,45 +78,38 @@ class MetaSearch:
     def run(self, seed: int = 0) -> MetaSearchResult:
         """Execute the tuning loop; each inner search gets a fresh seed
         (a designer re-runs, they do not replay)."""
-        control = self.initial_control
-        lo: Optional[float] = None  # highest control known to overshoot low
-        hi: Optional[float] = None  # control known to still violate
-        n = 0
-        controls: List[float] = []
-        result: Optional[SearchResult] = None
-        best: Optional[SearchResult] = None
+        state = _TunerState(self, seed)
+        while not state.done:
+            control, inner_seed = state.next_request()
+            state.observe(self.search_fn(control, inner_seed))
+        return state.result()
 
-        while n < self.max_searches:
-            controls.append(control)
-            result = self.search_fn(control, seed * 1000 + n)
-            n += 1
-            value = result.metrics.metric(self.metric)
-            if self._accept(value):
-                best = result
+    def run_many(
+        self,
+        seeds: Sequence[int],
+        batch_search_fn: Callable[[List[Tuple[float, int]]], List[SearchResult]],
+    ) -> List[MetaSearchResult]:
+        """Run one meta-search per seed, batching searches in rounds.
+
+        Each designer's loop is sequential (the next control value
+        depends on the previous search), but the K loops are mutually
+        independent — so round ``r`` gathers the r-th pending
+        ``(control, seed)`` request of every still-active loop and
+        dispatches them together through ``batch_search_fn`` (typically
+        a :func:`repro.core.run_many` fleet).  Control trajectories and
+        final results are identical to calling :meth:`run` per seed as
+        long as ``batch_search_fn`` matches ``search_fn`` seed for seed.
+        """
+        states = [_TunerState(self, seed) for seed in seeds]
+        while True:
+            active = [state for state in states if not state.done]
+            if not active:
                 break
-            if best is None or self._distance(value) < self._distance(
-                best.metrics.metric(self.metric)
-            ):
-                best = result
-            if value > self.target:
-                # Still violating: strengthen the control parameter.
-                hi = control
-                control = control * 2.0 if lo is None else 0.5 * (control + lo)
-            else:
-                # Overshot below 50% of target: weaken it.
-                lo = control
-                control = control * 0.5 if hi is None else 0.5 * (control + hi)
-        assert best is not None
-        accepted = self._accept(best.metrics.metric(self.metric))
-        per_search = GPU_HOURS_PER_SEARCH.get(self.method, 1.85)
-        return MetaSearchResult(
-            method=self.method,
-            n_searches=n,
-            gpu_hours=n * per_search,
-            final=best,
-            accepted=accepted,
-            control_values=controls,
-        )
+            requests = [state.next_request() for state in active]
+            results = batch_search_fn(requests)
+            for state, result in zip(active, results):
+                state.observe(result)
+        return [state.result() for state in states]
 
     def _distance(self, value: float) -> float:
         """Distance from the acceptance band, for keeping the best try."""
@@ -126,3 +119,70 @@ class MetaSearch:
         if value < low:
             return low - value
         return 0.0
+
+
+class _TunerState:
+    """One designer's tuning loop, advanced one observation at a time.
+
+    Extracting the control-update rule lets :meth:`MetaSearch.run`
+    (sequential) and :meth:`MetaSearch.run_many` (lock-step rounds over
+    a search fleet) share the exact same procedure.
+    """
+
+    def __init__(self, meta: MetaSearch, seed: int) -> None:
+        self.meta = meta
+        self.seed = seed
+        self.control = meta.initial_control
+        self.lo: Optional[float] = None  # highest control known to overshoot low
+        self.hi: Optional[float] = None  # control known to still violate
+        self.n = 0
+        self.controls: List[float] = []
+        self.best: Optional[SearchResult] = None
+        self.done = False
+
+    def next_request(self) -> Tuple[float, int]:
+        """The (control, inner seed) of this designer's next search."""
+        return self.control, self.seed * 1000 + self.n
+
+    def observe(self, result: SearchResult) -> None:
+        """Consume one search result and update the control parameter."""
+        meta = self.meta
+        self.controls.append(self.control)
+        self.n += 1
+        value = result.metrics.metric(meta.metric)
+        if meta._accept(value):
+            self.best = result
+            self.done = True
+            return
+        if self.best is None or meta._distance(value) < meta._distance(
+            self.best.metrics.metric(meta.metric)
+        ):
+            self.best = result
+        if value > meta.target:
+            # Still violating: strengthen the control parameter.
+            self.hi = self.control
+            self.control = (
+                self.control * 2.0 if self.lo is None else 0.5 * (self.control + self.lo)
+            )
+        else:
+            # Overshot below 50% of target: weaken it.
+            self.lo = self.control
+            self.control = (
+                self.control * 0.5 if self.hi is None else 0.5 * (self.control + self.hi)
+            )
+        if self.n >= meta.max_searches:
+            self.done = True
+
+    def result(self) -> MetaSearchResult:
+        assert self.best is not None
+        meta = self.meta
+        accepted = meta._accept(self.best.metrics.metric(meta.metric))
+        per_search = GPU_HOURS_PER_SEARCH.get(meta.method, 1.85)
+        return MetaSearchResult(
+            method=meta.method,
+            n_searches=self.n,
+            gpu_hours=self.n * per_search,
+            final=self.best,
+            accepted=accepted,
+            control_values=self.controls,
+        )

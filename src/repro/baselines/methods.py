@@ -1,4 +1,11 @@
-"""Thin method wrappers around :class:`~repro.core.CoExplorer`."""
+"""Thin method wrappers around :class:`~repro.core.CoExplorer`.
+
+Each method is just a :class:`SearchConfig` shape; the ``*_config``
+factories are the single source of truth, shared by the scalar
+``run_*`` wrappers and by fleet-batched callers (experiments, the
+meta-search) that collect many configs and dispatch them through
+:func:`repro.core.run_many` at once.
+"""
 
 from __future__ import annotations
 
@@ -22,6 +29,136 @@ GPU_HOURS_PER_SEARCH = {
 }
 
 
+# ----------------------------------------------------------------------
+# SearchConfig factories (one per method)
+# ----------------------------------------------------------------------
+def hdx_config(
+    constraints: ConstraintSet,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    p: float = 1e-2,
+    **overrides,
+) -> SearchConfig:
+    """The proposed hard-constrained co-exploration."""
+    return SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints,
+        hard_constraints=True,
+        p=p,
+        seed=seed,
+        method_name="HDX",
+        **overrides,
+    )
+
+
+def dance_config(
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    **overrides,
+) -> SearchConfig:
+    """DANCE: co-exploration without hard constraints.
+
+    ``constraints`` (if given) are only used for reporting whether the
+    found solution happens to satisfy them.
+    """
+    return SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints or ConstraintSet(),
+        hard_constraints=False,
+        seed=seed,
+        method_name="DANCE",
+        **overrides,
+    )
+
+
+def dance_soft_config(
+    constraints: ConstraintSet,
+    soft_lambda: float = 0.5,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    **overrides,
+) -> SearchConfig:
+    """DANCE + soft constraint term ``lambda_soft * max(t/T - 1, 0)``."""
+    return SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints,
+        hard_constraints=False,
+        soft_lambda=soft_lambda,
+        seed=seed,
+        method_name="DANCE+Soft",
+        **overrides,
+    )
+
+
+def autonba_config(
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    soft_lambda: float = 0.0,
+    **overrides,
+) -> SearchConfig:
+    """Auto-NBA-style search: hardware parameters trained directly."""
+    return SearchConfig(
+        lambda_cost=lambda_cost,
+        constraints=constraints or ConstraintSet(),
+        hard_constraints=False,
+        soft_lambda=soft_lambda,
+        use_generator=False,
+        seed=seed,
+        method_name="Auto-NBA",
+        **overrides,
+    )
+
+
+def nas_then_hw_config(
+    size_penalty_lambda: float = 0.0,
+    seed: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    **overrides,
+) -> SearchConfig:
+    """The NAS phase of NAS->HW (exhaustive HW search happens after)."""
+    return SearchConfig(
+        include_cost_term=False,
+        hard_constraints=False,
+        size_penalty_lambda=size_penalty_lambda,
+        constraints=constraints or ConstraintSet(),
+        seed=seed,
+        method_name="NAS->HW",
+        **overrides,
+    )
+
+
+def finalize_nas_then_hw(
+    result: SearchResult, constraints: Optional[ConstraintSet]
+) -> SearchResult:
+    """The hardware phase of NAS->HW: brute-force the design space.
+
+    The paper runs Timeloop exhaustively after a plain NAS; feasible
+    configurations are preferred when the constraints admit any.
+    Shared by the scalar wrapper and the fleet-batched meta-search.
+    """
+    bounds = {c.metric: c.bound for c in (constraints or ConstraintSet())}
+    hw_config, metrics = exhaustive_search(
+        result.arch, objective=cost_hw, constraints=bounds or None
+    )
+    return SearchResult(
+        arch=result.arch,
+        config=hw_config,
+        metrics=metrics,
+        error_percent=result.error_percent,
+        loss_nas=result.loss_nas,
+        cost=cost_hw(metrics),
+        constraints=constraints or ConstraintSet(),
+        in_constraint=(constraints or ConstraintSet()).all_satisfied(metrics),
+        history=result.history,
+        method="NAS->HW",
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar one-shot wrappers
+# ----------------------------------------------------------------------
 def run_hdx(
     space: SearchSpace,
     estimator: CostEstimator,
@@ -33,15 +170,7 @@ def run_hdx(
     **overrides,
 ) -> SearchResult:
     """The proposed hard-constrained co-exploration."""
-    config = SearchConfig(
-        lambda_cost=lambda_cost,
-        constraints=constraints,
-        hard_constraints=True,
-        p=p,
-        seed=seed,
-        method_name="HDX",
-        **overrides,
-    )
+    config = hdx_config(constraints, lambda_cost=lambda_cost, seed=seed, p=p, **overrides)
     return CoExplorer(space, estimator, config, surrogate=surrogate).search()
 
 
@@ -54,18 +183,9 @@ def run_dance(
     surrogate: Optional[AccuracySurrogate] = None,
     **overrides,
 ) -> SearchResult:
-    """DANCE: co-exploration without hard constraints.
-
-    ``constraints`` (if given) are only used for reporting whether the
-    found solution happens to satisfy them.
-    """
-    config = SearchConfig(
-        lambda_cost=lambda_cost,
-        constraints=constraints or ConstraintSet(),
-        hard_constraints=False,
-        seed=seed,
-        method_name="DANCE",
-        **overrides,
+    """DANCE: co-exploration without hard constraints."""
+    config = dance_config(
+        lambda_cost=lambda_cost, seed=seed, constraints=constraints, **overrides
     )
     return CoExplorer(space, estimator, config, surrogate=surrogate).search()
 
@@ -81,13 +201,11 @@ def run_dance_soft(
     **overrides,
 ) -> SearchResult:
     """DANCE + soft constraint term ``lambda_soft * max(t/T - 1, 0)``."""
-    config = SearchConfig(
-        lambda_cost=lambda_cost,
-        constraints=constraints,
-        hard_constraints=False,
+    config = dance_soft_config(
+        constraints,
         soft_lambda=soft_lambda,
+        lambda_cost=lambda_cost,
         seed=seed,
-        method_name="DANCE+Soft",
         **overrides,
     )
     return CoExplorer(space, estimator, config, surrogate=surrogate).search()
@@ -109,14 +227,11 @@ def run_autonba(
     estimator) and beta is a free parameter rather than a generator
     output.
     """
-    config = SearchConfig(
+    config = autonba_config(
         lambda_cost=lambda_cost,
-        constraints=constraints or ConstraintSet(),
-        hard_constraints=False,
-        soft_lambda=soft_lambda,
-        use_generator=False,
         seed=seed,
-        method_name="Auto-NBA",
+        constraints=constraints,
+        soft_lambda=soft_lambda,
         **overrides,
     )
     return CoExplorer(space, estimator, config, surrogate=surrogate).search()
@@ -138,30 +253,11 @@ def run_nas_then_hw(
     brute-forces the full design space against Cost_HW, preferring
     configurations satisfying the constraints when any exist.
     """
-    config = SearchConfig(
-        include_cost_term=False,
-        hard_constraints=False,
+    config = nas_then_hw_config(
         size_penalty_lambda=size_penalty_lambda,
-        constraints=constraints or ConstraintSet(),
         seed=seed,
-        method_name="NAS->HW",
+        constraints=constraints,
         **overrides,
     )
-    explorer = CoExplorer(space, estimator, config, surrogate=surrogate)
-    result = explorer.search()
-    bounds = {c.metric: c.bound for c in (constraints or ConstraintSet())}
-    hw_config, metrics = exhaustive_search(
-        result.arch, objective=cost_hw, constraints=bounds or None
-    )
-    return SearchResult(
-        arch=result.arch,
-        config=hw_config,
-        metrics=metrics,
-        error_percent=result.error_percent,
-        loss_nas=result.loss_nas,
-        cost=cost_hw(metrics),
-        constraints=constraints or ConstraintSet(),
-        in_constraint=(constraints or ConstraintSet()).all_satisfied(metrics),
-        history=result.history,
-        method="NAS->HW",
-    )
+    result = CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    return finalize_nas_then_hw(result, constraints)

@@ -21,9 +21,12 @@ from repro.core.gradmanip import (
     unflatten_gradient,
 )
 from repro.core.coexplore import CoExplorer, SearchConfig
+from repro.core.fleet import SearchFleet, run_many
 from repro.core.result import EpochRecord, SearchResult
 
 __all__ = [
+    "SearchFleet",
+    "run_many",
     "Constraint",
     "ConstraintSet",
     "DeltaPolicy",

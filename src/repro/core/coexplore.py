@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import nn
-from repro.accelerator import evaluate_network
+from repro.accelerator import default_energy_table, evaluate_network
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES, cost_hw
 from repro.arch import NetworkArch, SearchSpace, SuperNet
@@ -145,6 +145,75 @@ class _DirectBeta(nn.Module):
 
         with no_grad():
             return AcceleratorConfig.from_vector(self.forward(arch_features).data)
+
+
+def neighbourhood_configs(config: AcceleratorConfig):
+    """Discrete configs near ``config`` (the decode-repair scan set)."""
+    from repro.accelerator.config import (
+        DATAFLOWS,
+        PE_COLS_RANGE,
+        PE_ROWS_RANGE,
+        RF_BYTES_OPTIONS,
+    )
+
+    rf_index = RF_BYTES_OPTIONS.index(config.rf_bytes)
+    rows_opts = [
+        r for r in (config.pe_rows - 1, config.pe_rows, config.pe_rows + 1)
+        if PE_ROWS_RANGE[0] <= r <= PE_ROWS_RANGE[-1]
+    ]
+    cols_opts = [
+        c for c in (config.pe_cols - 2, config.pe_cols, config.pe_cols + 2)
+        if PE_COLS_RANGE[0] <= c <= PE_COLS_RANGE[-1]
+    ]
+    rf_opts = [
+        RF_BYTES_OPTIONS[i]
+        for i in (rf_index - 1, rf_index, rf_index + 1)
+        if 0 <= i < len(RF_BYTES_OPTIONS)
+    ]
+    for rows in rows_opts:
+        for cols in cols_opts:
+            for rf in rf_opts:
+                for df in DATAFLOWS:
+                    yield AcceleratorConfig(rows, cols, rf, df)
+
+
+def decode_repair_scan(
+    arch: NetworkArch,
+    config: AcceleratorConfig,
+    metrics,
+    constraints: ConstraintSet,
+    cost_weights: Optional[Dict[str, float]] = None,
+    energy_table=None,
+):
+    """Discretization-aware decode repair (shared by both engines).
+
+    If ``metrics`` violates ``constraints``, scans the ~81-config
+    neighbourhood with the vectorized subset evaluator and returns the
+    cheapest ground-truth-feasible neighbour (metrics recomputed with
+    the scalar oracle so reported numbers stay bit-identical to
+    ``evaluate_network``).  Both :class:`CoExplorer` and the fleet
+    engine must call this one function — a private reimplementation in
+    either engine breaks seed-for-seed parity (DESIGN.md).
+    """
+    from repro.accelerator.batch import evaluate_network_batch
+
+    if not constraints or constraints.all_satisfied(metrics):
+        return config, metrics
+    neighbours = list(neighbourhood_configs(config))
+    evaluation = evaluate_network_batch(arch, neighbours, energy_table)
+    metric_arrays = {
+        "latency": evaluation.latency_ms,
+        "energy": evaluation.energy_mj,
+        "area": evaluation.area_mm2,
+    }
+    feasible = np.ones(len(neighbours), dtype=bool)
+    for constraint in constraints:
+        feasible &= metric_arrays[constraint.metric] <= constraint.bound
+    if not feasible.any():
+        return config, metrics
+    costs = np.where(feasible, evaluation.cost_hw(cost_weights), np.inf)
+    chosen = neighbours[int(np.argmin(costs))]
+    return chosen, evaluate_network(arch, chosen, energy_table)
 
 
 def differentiable_edp(metrics: Tensor) -> Tensor:
@@ -461,53 +530,21 @@ class CoExplorer:
             indices.append(int(probs[li, :n_valid].argmax()))
         return NetworkArch.from_indices(self.space, indices)
 
-    def _neighbourhood(self, config: AcceleratorConfig):
-        """Discrete configs near ``config`` (for decode repair)."""
-        from repro.accelerator.config import (
-            DATAFLOWS,
-            PE_COLS_RANGE,
-            PE_ROWS_RANGE,
-            RF_BYTES_OPTIONS,
-        )
-
-        rf_index = RF_BYTES_OPTIONS.index(config.rf_bytes)
-        rows_opts = [
-            r for r in (config.pe_rows - 1, config.pe_rows, config.pe_rows + 1)
-            if PE_ROWS_RANGE[0] <= r <= PE_ROWS_RANGE[-1]
-        ]
-        cols_opts = [
-            c for c in (config.pe_cols - 2, config.pe_cols, config.pe_cols + 2)
-            if PE_COLS_RANGE[0] <= c <= PE_COLS_RANGE[-1]
-        ]
-        rf_opts = [
-            RF_BYTES_OPTIONS[i]
-            for i in (rf_index - 1, rf_index, rf_index + 1)
-            if 0 <= i < len(RF_BYTES_OPTIONS)
-        ]
-        for rows in rows_opts:
-            for cols in cols_opts:
-                for rf in rf_opts:
-                    for df in DATAFLOWS:
-                        yield AcceleratorConfig(rows, cols, rf, df)
-
     def _finalize(self, history: List[EpochRecord]) -> SearchResult:
         arch = self.dominant_arch()
         hard_feats = Tensor(arch_features_from_indices(self.space, arch.to_indices()))
         config = self.generator.discretize(hard_feats)
-        metrics = evaluate_network(arch, config)
-        constraints = self.config.constraints
-        if (
-            self.config.decode_repair
-            and constraints
-            and not constraints.all_satisfied(metrics)
-        ):
-            candidates = []
-            for neighbour in self._neighbourhood(config):
-                m = evaluate_network(arch, neighbour)
-                if constraints.all_satisfied(m):
-                    candidates.append((cost_hw(m, self.config.cost_weights), neighbour, m))
-            if candidates:
-                _, config, metrics = min(candidates, key=lambda item: item[0])
+        table = default_energy_table()
+        metrics = evaluate_network(arch, config, table)
+        if self.config.decode_repair:
+            config, metrics = decode_repair_scan(
+                arch,
+                config,
+                metrics,
+                self.config.constraints,
+                cost_weights=self.config.cost_weights,
+                energy_table=table,
+            )
         error = self.surrogate.trained_error(arch, seed=self.config.seed)
         return SearchResult(
             arch=arch,

@@ -105,3 +105,21 @@ class ConstraintSet:
         if not self.constraints:
             return "unconstrained"
         return " & ".join(str(c) for c in self.constraints)
+
+
+# ----------------------------------------------------------------------
+# Array-of-runs variant used by the search fleet
+# ----------------------------------------------------------------------
+def batched_violated(
+    values: np.ndarray, metrics: Sequence[str], bounds: np.ndarray
+) -> np.ndarray:
+    """Per-run violation flags (N,) for (N, 3) metric values.
+
+    ``bounds`` has shape (K, N): one row of per-run bounds for each
+    constrained metric in ``metrics``.  Mirrors
+    :meth:`ConstraintSet.violated` elementwise over the run axis.
+    """
+    flags = np.zeros(len(values), dtype=bool)
+    for k, name in enumerate(metrics):
+        flags |= values[:, METRIC_INDEX[name]] > bounds[k]
+    return flags

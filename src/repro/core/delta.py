@@ -8,6 +8,8 @@ only hyper-parameter (default 1e-2, studied in Fig. 4).
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class DeltaPolicy:
     """Stateful delta update rule."""
@@ -34,3 +36,33 @@ class DeltaPolicy:
 
     def __repr__(self) -> str:
         return f"DeltaPolicy(delta={self.delta:.3e}, p={self.p})"
+
+
+class DeltaPolicyArray:
+    """Array-of-runs :class:`DeltaPolicy` for the search fleet.
+
+    Holds one delta per run; ``update`` advances all runs at once with
+    the same grow-by-``(1+p)`` / reset rule, elementwise (bitwise
+    identical per run to the scalar policy).
+    """
+
+    def __init__(self, delta0, p) -> None:
+        self.delta0 = np.asarray(delta0, dtype=float).copy()
+        self.p = np.asarray(p, dtype=float).copy()
+        if np.any(self.delta0 <= 0):
+            raise ValueError("delta0 must be positive")
+        if np.any(self.p <= 0):
+            raise ValueError("p must be positive")
+        self.delta = self.delta0.copy()
+
+    def update(self, violated) -> np.ndarray:
+        """Advance one step for every run; returns the new deltas."""
+        violated = np.asarray(violated, dtype=bool)
+        self.delta = np.where(violated, self.delta * (1.0 + self.p), self.delta0)
+        return self.delta
+
+    def reset(self) -> None:
+        self.delta = self.delta0.copy()
+
+    def __repr__(self) -> str:
+        return f"DeltaPolicyArray(n={self.delta.size})"

@@ -1,0 +1,717 @@
+"""Batched co-exploration: run many searches as one NumPy program.
+
+Every headline experiment (Fig. 1 sweep, Fig. 3 constrained runs,
+Table 1 meta-search, the ablations) runs many *independent*
+surrogate-fidelity searches.  The scalar :class:`~repro.core.CoExplorer`
+spends its time in Python-level autodiff dispatch over (L, C)-sized
+tensors, one run at a time; :class:`SearchFleet` stacks N runs on a
+leading run axis — alpha as ``(N, L, C)``, per-run generator weights as
+stacked kernels, one shared frozen estimator — and advances all of them
+lock-step with hand-written forward/VJP passes, so both the Python
+graph overhead and the per-op dispatch are paid once for the whole
+fleet instead of once per run.
+
+Parity contract (enforced by ``tests/test_fleet_parity.py``): for
+surrogate fidelity the fleet reproduces the scalar engine **seed for
+seed** — same per-epoch telemetry, same RNG draws, same final
+architecture/accelerator/metrics.  This works because
+
+* elementwise ops and trailing-axis reductions are bitwise identical
+  under batching;
+* matmuls go through stacked ``(N, 1, F)`` layouts, which NumPy
+  executes as one GEMM per run — the exact scalar arithmetic (a flat
+  ``(N, F)`` GEMM would differ in the last ulp and the divergence
+  compounds over epochs);
+* the hand-written VJPs mirror the autodiff ops' formulas *and* the
+  engine's gradient-accumulation order at every fan-out node (feats
+  receives its contributions in cap -> ext -> summary -> generator
+  order, the predicted metrics in construction order — measured off
+  the real engine's reverse-topological traversal);
+* per-run ``numpy`` Generators reproduce the scalar engine's draw
+  sequence exactly;
+* gradient manipulation, the delta schedule, and decode repair reuse
+  the scalar functions per run.
+
+Any change to ``CoExplorer.search()``, the estimator/generator
+forwards, or the surrogate must be mirrored here (and vice versa) or
+the parity test fails — see DESIGN.md.
+
+Runs whose loss graphs differ structurally (generator vs direct beta,
+cost term on/off, different constraint sets, ...) cannot share one
+vectorized program; :class:`SearchFleet` transparently groups runs by
+graph structure and batches within each group.  Full-fidelity runs
+(real supernet training) fall back to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator import default_energy_table, evaluate_network
+from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES, cost_hw
+from repro.arch import NetworkArch, SearchSpace
+from repro.arch.encoding import (
+    _choice_stats,
+    arch_features_from_alpha_batch,
+    arch_features_from_indices_batch,
+    candidate_mask,
+    extended_features_from_indices_batch,
+    summary_from_probs_batch,
+)
+from repro.core.coexplore import (
+    LAMBDA_COST_SCALE,
+    TYPICAL_COST,
+    CoExplorer,
+    SearchConfig,
+    decode_repair_scan,
+)
+from repro.core.constraints import _METRIC_REF, batched_violated
+from repro.core.delta import DeltaPolicyArray
+from repro.core.gradmanip import manipulate_gradient_batch
+from repro.core.result import EpochRecord, SearchResult
+from repro.estimator.estimator import CostEstimator, METRIC_INDEX
+from repro.estimator.generator import (
+    HardwareGeneratorFleet,
+    accelerator_head_forward,
+    accelerator_head_vjp,
+)
+from repro.surrogate import AccuracySurrogate, AccuracySurrogateFleet
+
+
+def _structure_key(config: SearchConfig) -> Tuple:
+    """Hashable description of a run's loss-graph structure.
+
+    Runs with the same key build isomorphic loss graphs and can be
+    batched together; everything else about a config (seed, lambdas,
+    bounds, learning rates, ablation flags applied per-run) is data,
+    not structure.
+    """
+    return (
+        config.fidelity,
+        config.epochs,
+        config.use_generator,
+        config.include_cost_term,
+        config.use_edp_cost,
+        config.size_penalty_lambda > 0,
+        config.soft_lambda > 0 and bool(config.constraints),
+        config.hard_constraints and bool(config.constraints),
+        tuple(c.metric for c in config.constraints),
+    )
+
+
+class _DirectBetaFleet:
+    """Run-axis stack of :class:`~repro.core.coexplore._DirectBeta`.
+
+    The raw (N, 6) parameter stack is the training state; forward and
+    VJP mirror the scalar module (sigmoid over the first three slots,
+    softmax over the dataflow slots, features ignored).
+    """
+
+    def __init__(self, betas: Sequence) -> None:
+        self.raw = np.stack([b.raw.data for b in betas])
+
+    def params(self) -> List[np.ndarray]:
+        return [self.raw]
+
+    def forward(self, arch_features: np.ndarray, want_cache: bool = True):
+        beta, size_part, dataflow_part = accelerator_head_forward(self.raw)
+        cache = (size_part, dataflow_part) if want_cache else None
+        return beta, cache
+
+    def backward(self, cache, d_beta, need_input=True, need_weights=False):
+        size_part, dataflow_part = cache
+        d_raw = accelerator_head_vjp(d_beta, size_part, dataflow_part)
+        grads = [d_raw] if need_weights else None
+        return None, grads  # no gradient flows to the features
+
+    def discretize_all(self, arch_features: np.ndarray):
+        from repro.accelerator.config import AcceleratorConfig
+
+        vectors, _ = self.forward(arch_features, want_cache=False)
+        return [AcceleratorConfig.from_vector(v) for v in vectors]
+
+
+class _FleetGroup:
+    """One structurally homogeneous batch of surrogate-fidelity runs."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        estimator: CostEstimator,
+        configs: Sequence[SearchConfig],
+        surrogate: Optional[AccuracySurrogate] = None,
+    ) -> None:
+        if not estimator.frozen:
+            raise ValueError("estimator must be pre-trained and frozen before search")
+        cfg0 = configs[0]
+        if cfg0.fidelity != "surrogate":
+            raise ValueError("_FleetGroup only batches surrogate-fidelity runs")
+        self.space = space
+        self.estimator = estimator
+        self.configs = list(configs)
+        self.n = len(self.configs)
+        n = self.n
+
+        # Canonical surrogate for reporting; per-run jittered copies for
+        # search (each run perturbs the loss landscape with its own seed,
+        # exactly as the scalar engine does).
+        self.surrogate = surrogate or AccuracySurrogate(space, seed=0)
+        search_fleet = AccuracySurrogateFleet(
+            [
+                AccuracySurrogate(
+                    space,
+                    seed=0,
+                    landscape_jitter=c.landscape_jitter,
+                    jitter_seed=c.seed,
+                )
+                for c in self.configs
+            ]
+        )
+        cal = search_fleet.calibration
+        self._scores = search_fleet._scores  # (N, L, C)
+        self._sur_mid = cal["cap_frac"] * search_fleet._max_capacity
+        self._sur_inv_scale = 1.0 / (cal["cap_scale"] * search_fleet._max_capacity)
+        self._err_floor = cal["err_floor"]
+        self._err_spread = cal["err_spread"]
+        self._loss_scale = cal["loss_scale"]
+        self._loss_bias = cal["loss_bias"]
+
+        self.alpha = np.zeros((n, space.num_layers, space.num_choices))
+        if cfg0.use_generator:
+            from repro.estimator.generator import HardwareGenerator
+
+            self.generator = HardwareGeneratorFleet(
+                [HardwareGenerator(space, seed=c.seed + 1) for c in self.configs]
+            )
+        else:
+            from repro.core.coexplore import _DirectBeta
+
+            self.generator = _DirectBetaFleet(
+                [_DirectBeta(seed=c.seed + 1) for c in self.configs]
+            )
+        self._gen_params = self.generator.params()
+        self._est_kernel = estimator.fleet_kernel()
+        self._t_std = estimator.target_std
+        self._t_mean = estimator.target_mean
+
+        self.rngs = [np.random.default_rng(c.seed) for c in self.configs]
+        self.delta_policy = DeltaPolicyArray(
+            np.array([c.delta0 for c in self.configs]),
+            np.array([c.p for c in self.configs]),
+        )
+
+        # --- Structure flags (identical across the group) --------------
+        self._use_generator = cfg0.use_generator
+        self._include_cost = cfg0.include_cost_term
+        self._use_edp = cfg0.use_edp_cost
+        self._has_size_pen = cfg0.size_penalty_lambda > 0
+        self._has_soft = cfg0.soft_lambda > 0 and bool(cfg0.constraints)
+        self._has_hard = cfg0.hard_constraints and bool(cfg0.constraints)
+        # Violation telemetry is recorded whenever constraints exist,
+        # even if manipulation (hard constraints) is off — the scalar
+        # engine checks violation against the tightened bounds first
+        # and gates only Pass C on ``hard_constraints``.
+        self._has_constraints = bool(cfg0.constraints)
+        self._epochs = cfg0.epochs
+        self._metric_names = [c.metric for c in cfg0.constraints]
+        self._metric_idx = [METRIC_INDEX[m] for m in self._metric_names]
+        self._inv_refs = [1.0 / _METRIC_REF[m] for m in self._metric_names]
+
+        # --- Per-run data arrays ---------------------------------------
+        cost_norm = TYPICAL_COST["cifar10"] / TYPICAL_COST.get(
+            space.name, TYPICAL_COST["cifar10"]
+        )
+        self._cost_coef = np.array(
+            [c.lambda_cost * LAMBDA_COST_SCALE * cost_norm for c in self.configs]
+        )
+        self._size_pen = np.array([c.size_penalty_lambda for c in self.configs])
+        self._soft_lambda = np.array([c.soft_lambda for c in self.configs])
+        self._alpha_lr = np.array([c.alpha_lr for c in self.configs]).reshape(n, 1, 1)
+        self._v_lr = np.array([c.v_lr for c in self.configs])
+        self._max_norm = np.array([c.max_correction_norm for c in self.configs])
+        self._force = np.array([c.manipulate_always for c in self.configs])
+        self._manip_v = np.array([c.manipulate_generator for c in self.configs])
+        # True bounds (soft term) and internally tightened bounds (hard
+        # constraints + violation telemetry), both (K, N); the tightening
+        # mirrors CoExplorer's per-metric margin rule exactly.
+        n_metrics = len(self._metric_names)
+        self._true_inv_bounds = np.array(
+            [[1.0 / c.bound for c in cfg.constraints] for cfg in self.configs]
+        ).T.reshape(n_metrics, n)
+        self._internal_bounds = np.array(
+            [
+                [
+                    c.bound
+                    * (
+                        1.0
+                        - (
+                            min(cfg.constraint_margin, 0.02)
+                            if c.metric == "area"
+                            else cfg.constraint_margin
+                        )
+                    )
+                    for c in cfg.constraints
+                ]
+                for cfg in self.configs
+            ]
+        ).T.reshape(n_metrics, n)
+        # Per-metric Eq. 10 weight/reference coefficients.
+        weight_dicts = [c.cost_weights or COST_WEIGHTS for c in self.configs]
+        self._w_lat = np.array(
+            [w["latency"] / REFERENCE_SCALES["latency_ms"] for w in weight_dicts]
+        )
+        self._w_energy = np.array(
+            [w["energy"] / REFERENCE_SCALES["energy_mj"] for w in weight_dicts]
+        )
+        self._w_area = np.array(
+            [w["area"] / REFERENCE_SCALES["area_mm2"] for w in weight_dicts]
+        )
+        self._edp_scale = 1.0 / (
+            REFERENCE_SCALES["latency_ms"] * REFERENCE_SCALES["energy_mj"]
+        )
+        self._valid_mask = candidate_mask(space)
+        self._stats = _choice_stats(space)  # (3, L, C)
+        self._n_layers = space.num_layers
+        self._lc = space.num_layers * space.num_choices
+        self._noise = [c.nas_grad_noise for c in self.configs]
+
+    # ------------------------------------------------------------------
+    # Batched numeric helpers (each mirrors its scalar graph op-for-op)
+    # ------------------------------------------------------------------
+    def _summary_vjp(self, d_summary: np.ndarray) -> np.ndarray:
+        """VJP of ``summary_from_probs_batch``: (N, 3+L) -> (N, L, C).
+
+        Contributions accumulate in the engine's order: the three
+        global stats then the per-layer MACs term.
+        """
+        n, l, c = len(d_summary), self._n_layers, self._scores.shape[2]
+        shape = (n, l, c)
+        acc = np.broadcast_to(d_summary[:, 0].reshape(n, 1, 1), shape) * self._stats[0]
+        acc = acc + np.broadcast_to(d_summary[:, 1].reshape(n, 1, 1), shape) * self._stats[1]
+        acc = acc + np.broadcast_to(d_summary[:, 2].reshape(n, 1, 1), shape) * self._stats[2]
+        d_pl_sum = d_summary[:, 3:] * float(self._n_layers)
+        acc = acc + np.broadcast_to(d_pl_sum[:, :, None], shape) * self._stats[0]
+        return acc
+
+    def _estimator_forward(self, feat_all: np.ndarray, want_cache: bool = True):
+        """(N, D) features -> (N, 3) denormalized metrics (+ cache)."""
+        n = len(feat_all)
+        out, cache = self._est_kernel.forward(
+            feat_all.reshape(n, 1, -1), want_cache=want_cache
+        )
+        normalized = out.reshape(n, -1)
+        metrics = np.exp(normalized * self._t_std + self._t_mean)
+        return metrics, cache
+
+    def _estimator_vjp(self, cache, metrics: np.ndarray, d_metrics: np.ndarray):
+        """d metrics (N, 3) -> d features (N, D)."""
+        n = len(metrics)
+        d_pre = d_metrics * metrics  # exp
+        d_norm = d_pre * self._t_std
+        d_x, _ = self._est_kernel.backward(
+            cache, d_norm.reshape(n, 1, -1), need_input=True
+        )
+        return d_x.reshape(n, -1)
+
+    def _metrics_vjp_hw(self, metrics: np.ndarray, d_hw, soft_pre) -> np.ndarray:
+        """d metrics of the hardware objective for cotangent ``d_hw``.
+
+        Scatter order matches the engine: the cost getitems in
+        construction order, then the soft-term getitems.
+        """
+        n = len(metrics)
+        d_met = np.zeros((n, 3))
+        if self._use_edp:
+            t = d_hw * 10.0
+            t = t * self._edp_scale
+            d_met[:, 0] += t * metrics[:, 1]
+            d_met[:, 1] += t * metrics[:, 0]
+        else:
+            d_met[:, 0] += d_hw * self._w_lat
+            d_met[:, 1] += d_hw * self._w_energy
+            d_met[:, 2] += d_hw * self._w_area
+        if self._has_soft:
+            d_soft_sum = d_hw * self._soft_lambda
+            for k, idx in enumerate(self._metric_idx):
+                mask = (soft_pre[k] >= 0.0).astype(float)
+                d_met[:, idx] += (d_soft_sum * mask) * self._true_inv_bounds[k]
+        return d_met
+
+    def _alpha_vjp(self, d_f0: np.ndarray, p3: np.ndarray, inv_tau: np.ndarray):
+        """d feats (N, L*C) -> d alpha (N, L, C) through softmax/temper."""
+        d_p3 = d_f0.reshape(p3.shape)
+        dot = (d_p3 * p3).sum(axis=-1, keepdims=True)
+        d_b = p3 * (d_p3 - dot)
+        return d_b * inv_tau
+
+    def _dominant_indices(self) -> np.ndarray:
+        """(N, L) argmax choice per layer, mirroring ``dominant_arch``."""
+        probs = arch_features_from_alpha_batch(self.space, self.alpha)
+        probs = probs.reshape(self.alpha.shape)
+        masked = np.where(self._valid_mask, probs, -1.0)
+        return masked.argmax(axis=-1)
+
+    def _predict_dominant_metrics(self) -> np.ndarray:
+        """(N, 3) estimator metrics of each run's argmax architecture."""
+        indices = self._dominant_indices()
+        one_hot = arch_features_from_indices_batch(self.space, indices)
+        beta, _ = self.generator.forward(one_hot, want_cache=False)
+        features = np.concatenate(
+            [extended_features_from_indices_batch(self.space, indices), beta], axis=1
+        )
+        return self.estimator.predict_numpy_rows(features)
+
+    # ------------------------------------------------------------------
+    # The lock-step search loop
+    # ------------------------------------------------------------------
+    def search_all(self) -> List[SearchResult]:
+        n = self.n
+        lc = self._lc
+        histories: List[List[EpochRecord]] = [[] for _ in range(n)]
+        inv_taus = self._inv_tau_schedule()
+        for epoch in range(self._epochs):
+            inv_tau = inv_taus[epoch]
+
+            # --- Shared forward on the tempered relaxation -------------
+            f0 = arch_features_from_alpha_batch(self.space, self.alpha * inv_tau)
+            p3 = f0.reshape(self.alpha.shape)
+            # Surrogate Loss_NAS.
+            cap = (p3 * self._scores).sum(axis=(1, 2))
+            z = (cap - self._sur_mid) * self._sur_inv_scale
+            nz = -z
+            sg = 1.0 / (1.0 + np.exp(-nz))
+            err = self._err_floor + self._err_spread * sg
+            loss_nas = err * self._loss_scale + self._loss_bias
+            summary = summary_from_probs_batch(self.space, f0)
+            beta, gen_cache = self.generator.forward(f0, want_cache=True)
+            feat_all = np.concatenate([f0, summary, beta], axis=1)
+            metrics, est_cache = self._estimator_forward(feat_all)
+            if self._use_edp:
+                cost = (
+                    metrics[:, 0] * metrics[:, 1] * self._edp_scale * 10.0
+                )
+            else:
+                cost = (
+                    metrics[:, 0] * self._w_lat
+                    + metrics[:, 1] * self._w_energy
+                    + metrics[:, 2] * self._w_area
+                )
+            soft_pre = None
+            hw = cost
+            if self._has_soft:
+                soft_pre = [
+                    metrics[:, idx] * self._true_inv_bounds[k] - 1.0
+                    for k, idx in enumerate(self._metric_idx)
+                ]
+                soft_sum = np.maximum(soft_pre[0], 0.0)
+                for pre in soft_pre[1:]:
+                    soft_sum = soft_sum + np.maximum(pre, 0.0)
+                hw = cost + soft_sum * self._soft_lambda
+            global_loss = loss_nas
+            if self._include_cost:
+                global_loss = global_loss + hw * self._cost_coef
+            if self._has_size_pen:
+                global_loss = global_loss + summary[:, 0] * self._size_pen
+
+            # --- Pass A: d global_loss / d alpha -----------------------
+            # feats contributions in engine order: cap, ext, summary, gen.
+            d_cap = -(
+                ((self._loss_scale * self._err_spread) * sg) * (1.0 - sg)
+            ) * self._sur_inv_scale
+            d_f0 = (
+                np.broadcast_to(d_cap.reshape(n, 1, 1), p3.shape) * self._scores
+            ).reshape(n, lc)
+            if self._include_cost:
+                d_met = self._metrics_vjp_hw(metrics, self._cost_coef, soft_pre)
+                d_feat = self._estimator_vjp(est_cache, metrics, d_met)
+                d_f0 = d_f0 + d_feat[:, :lc]
+                d_summary = d_feat[:, lc : lc + summary.shape[1]]
+                if self._has_size_pen:
+                    d_summary = d_summary.copy()
+                    d_summary[:, 0] += self._size_pen
+                d_f0 = d_f0 + self._summary_vjp(d_summary).reshape(n, lc)
+                if self._use_generator:
+                    d_beta = d_feat[:, lc + summary.shape[1] :]
+                    d_xg, _ = self.generator.backward(
+                        gen_cache, d_beta, need_input=True
+                    )
+                    d_f0 = d_f0 + d_xg
+            elif self._has_size_pen:
+                d_summary = np.zeros_like(summary)
+                d_summary[:, 0] += self._size_pen
+                d_f0 = d_f0 + self._summary_vjp(d_summary).reshape(n, lc)
+            g_loss_alpha = self._alpha_vjp(d_f0, p3, inv_tau)
+
+            noise_mean = np.abs(g_loss_alpha).mean(axis=(1, 2))
+            for i, noise in enumerate(self._noise):
+                if noise > 0:
+                    scale = noise * float(noise_mean[i])
+                    g_loss_alpha[i] = g_loss_alpha[i] + self.rngs[i].normal(
+                        0.0, scale, size=g_loss_alpha[i].shape
+                    )
+
+            # --- Pass B: d hw_objective / d generator weights ----------
+            g_v: Optional[List[np.ndarray]] = None
+            if self._include_cost:
+                d_met = self._metrics_vjp_hw(metrics, 1.0, soft_pre)
+                d_feat = self._estimator_vjp(est_cache, metrics, d_met)
+                d_beta = d_feat[:, lc + summary.shape[1] :]
+                _, g_v = self.generator.backward(
+                    gen_cache, d_beta, need_input=False, need_weights=True
+                )
+
+            # --- Violation check on the dominant architectures ---------
+            hard_metrics = self._predict_dominant_metrics()
+            if self._has_constraints:
+                violated = batched_violated(
+                    hard_metrics, self._metric_names, self._internal_bounds
+                )
+            else:
+                violated = np.zeros(n, dtype=bool)
+            manipulated_alpha = np.zeros(n, dtype=bool)
+            manipulated_v = np.zeros(n, dtype=bool)
+            if self._has_hard:
+                if violated.any():
+                    # Pass C: d constraint_loss / d (alpha, v), then the
+                    # minimum-norm correction per violated run.
+                    g_loss_alpha, g_v, manipulated_alpha, manipulated_v = (
+                        self._constraint_pass(
+                            metrics,
+                            est_cache,
+                            gen_cache,
+                            p3,
+                            inv_tau,
+                            summary.shape[1],
+                            g_loss_alpha,
+                            g_v,
+                            violated,
+                        )
+                    )
+                self.delta_policy.update(violated)
+
+            # --- Updates (plain SGD, per-run learning rates) -----------
+            self.alpha -= self._alpha_lr * g_loss_alpha
+            if self._include_cost:
+                for param, grad in zip(self._gen_params, g_v):
+                    lr = self._v_lr.reshape((n,) + (1,) * (param.ndim - 1))
+                    param -= lr * grad
+
+            deltas = self.delta_policy.delta
+            for i in range(n):
+                histories[i].append(
+                    EpochRecord(
+                        epoch=epoch,
+                        loss_nas=float(loss_nas[i]),
+                        cost_hw=float(cost[i]),
+                        global_loss=float(global_loss[i]),
+                        predicted_latency_ms=float(hard_metrics[i, 0]),
+                        predicted_energy_mj=float(hard_metrics[i, 1]),
+                        predicted_area_mm2=float(hard_metrics[i, 2]),
+                        delta=float(deltas[i]),
+                        violated=bool(violated[i]),
+                        manipulated_alpha=bool(manipulated_alpha[i]),
+                        manipulated_v=bool(manipulated_v[i]),
+                    )
+                )
+        return self._finalize(histories)
+
+    def _inv_tau_schedule(self) -> List[np.ndarray]:
+        """Per-epoch (N, 1, 1) reciprocal temperatures, scalar formula."""
+        schedule = []
+        for epoch in range(self._epochs):
+            progress = min(1.0, epoch / max(0.6 * (self._epochs - 1), 1))
+            schedule.append(
+                np.array(
+                    [
+                        1.0 / (c.tau_start * (c.tau_end / c.tau_start) ** progress)
+                        for c in self.configs
+                    ]
+                ).reshape(self.n, 1, 1)
+            )
+        return schedule
+
+    def _constraint_pass(
+        self,
+        metrics: np.ndarray,
+        est_cache,
+        gen_cache,
+        p3: np.ndarray,
+        inv_tau: np.ndarray,
+        summary_dim: int,
+        g_loss_alpha: np.ndarray,
+        g_v: Optional[List[np.ndarray]],
+        violated: np.ndarray,
+    ):
+        """Backward through Const = sum max(t - T, 0) and Eq. 4/7/8."""
+        n, lc = self.n, self._lc
+        d_met = np.zeros((n, 3))
+        for k, idx in enumerate(self._metric_idx):
+            mask = (metrics[:, idx] - self._internal_bounds[k] >= 0.0).astype(float)
+            d_met[:, idx] += self._inv_refs[k] * mask
+        d_feat = self._estimator_vjp(est_cache, metrics, d_met)
+        d_xg, g_const_v = self.generator.backward(
+            gen_cache,
+            d_feat[:, lc + summary_dim :],
+            need_input=True,
+            need_weights=True,
+        )
+        # feats contributions in engine order: ext, summary, gen.
+        d_f0 = d_feat[:, :lc]
+        d_f0 = d_f0 + self._summary_vjp(d_feat[:, lc : lc + summary_dim]).reshape(n, lc)
+        if d_xg is not None:
+            d_f0 = d_f0 + d_xg
+        g_const_alpha = self._alpha_vjp(d_f0, p3, inv_tau)
+
+        delta = self.delta_policy.delta
+        new_alpha, manipulated_alpha = manipulate_gradient_batch(
+            g_loss_alpha.reshape(n, -1),
+            g_const_alpha.reshape(n, -1),
+            violated,
+            delta,
+            max_norm=self._max_norm,
+            force=self._force,
+        )
+        g_loss_alpha = new_alpha.reshape(g_loss_alpha.shape)
+
+        manipulated_v = np.zeros(n, dtype=bool)
+        if g_v is None:
+            g_v = [np.zeros_like(p) for p in self._gen_params]
+        # Flatten only the violated runs' generator gradients (the flat
+        # vectors are ~20k floats per run; clean runs pass through
+        # untouched, exactly as the scalar engine leaves them).
+        active = np.flatnonzero(violated)
+        if len(active):
+            flat_v = np.concatenate(
+                [g[active].reshape(len(active), -1) for g in g_v], axis=1
+            )
+            flat_cv = np.concatenate(
+                [g[active].reshape(len(active), -1) for g in g_const_v], axis=1
+            )
+            new_v, applied = manipulate_gradient_batch(
+                flat_v,
+                flat_cv,
+                violated[active],
+                delta[active],
+                max_norm=self._max_norm[active],
+                force=self._force[active],
+                enabled=self._manip_v[active],
+            )
+            manipulated_v[active] = applied
+            if applied.any():
+                g_v = [g.copy() for g in g_v]
+                offset = 0
+                for grad in g_v:
+                    size = grad[0].size
+                    grad[active] = new_v[:, offset : offset + size].reshape(
+                        (len(active),) + grad.shape[1:]
+                    )
+                    offset += size
+        return g_loss_alpha, g_v, manipulated_alpha, manipulated_v
+
+    # ------------------------------------------------------------------
+    def _finalize(self, histories: List[List[EpochRecord]]) -> List[SearchResult]:
+        indices = self._dominant_indices()
+        one_hot = arch_features_from_indices_batch(self.space, indices)
+        hw_configs = self.generator.discretize_all(one_hot)
+        table = default_energy_table()
+        results: List[SearchResult] = []
+        for i, cfg in enumerate(self.configs):
+            arch = NetworkArch.from_indices(self.space, [int(x) for x in indices[i]])
+            config = hw_configs[i]
+            metrics = evaluate_network(arch, config, table)
+            if cfg.decode_repair:
+                config, metrics = decode_repair_scan(
+                    arch,
+                    config,
+                    metrics,
+                    cfg.constraints,
+                    cost_weights=cfg.cost_weights,
+                    energy_table=table,
+                )
+            error = self.surrogate.trained_error(arch, seed=cfg.seed)
+            results.append(
+                SearchResult(
+                    arch=arch,
+                    config=config,
+                    metrics=metrics,
+                    error_percent=error,
+                    loss_nas=self.surrogate.loss_of(arch),
+                    cost=cost_hw(metrics, cfg.cost_weights),
+                    constraints=cfg.constraints,
+                    in_constraint=cfg.constraints.all_satisfied(metrics),
+                    history=histories[i],
+                    method=cfg.method_name,
+                )
+            )
+        return results
+
+
+class SearchFleet:
+    """Run N co-exploration searches as batched vectorized programs.
+
+    Groups the given configs by loss-graph structure, runs each group
+    through :class:`_FleetGroup`, and falls back to the scalar
+    :class:`CoExplorer` for full-fidelity runs.  Results come back in
+    input order and are seed-for-seed identical to running each config
+    through ``CoExplorer(space, estimator, config).search()``.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        estimator: CostEstimator,
+        configs: Sequence[SearchConfig],
+        surrogate: Optional[AccuracySurrogate] = None,
+        dataset=None,
+    ) -> None:
+        self.space = space
+        self.estimator = estimator
+        self.configs = list(configs)
+        self.surrogate = surrogate
+        self.dataset = dataset
+
+    def search_all(self) -> List[SearchResult]:
+        results: List[Optional[SearchResult]] = [None] * len(self.configs)
+        groups: Dict[Tuple, List[int]] = {}
+        for index, config in enumerate(self.configs):
+            if config.fidelity == "surrogate":
+                groups.setdefault(_structure_key(config), []).append(index)
+            else:
+                results[index] = CoExplorer(
+                    self.space,
+                    self.estimator,
+                    config,
+                    surrogate=self.surrogate,
+                    dataset=self.dataset,
+                ).search()
+        for indices in groups.values():
+            group = _FleetGroup(
+                self.space,
+                self.estimator,
+                [self.configs[i] for i in indices],
+                surrogate=self.surrogate,
+            )
+            for index, result in zip(indices, group.search_all()):
+                results[index] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+
+def run_many(
+    space: SearchSpace,
+    estimator: CostEstimator,
+    configs: Sequence[SearchConfig],
+    surrogate: Optional[AccuracySurrogate] = None,
+    dataset=None,
+) -> List[SearchResult]:
+    """Run N searches, batching surrogate-fidelity runs into a fleet.
+
+    Drop-in replacement for a loop of ``CoExplorer(...).search()``
+    calls: same results (seed for seed), one vectorized program per
+    structural group instead of N sequential scalar searches.
+    """
+    return SearchFleet(
+        space, estimator, configs, surrogate=surrogate, dataset=dataset
+    ).search_all()

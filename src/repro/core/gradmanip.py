@@ -93,3 +93,39 @@ def manipulate_gradient(
         return g_loss, False
     correction = minimum_norm_correction(g_loss, g_const, delta, max_norm=max_norm)
     return g_loss + correction, True
+
+
+def manipulate_gradient_batch(
+    g_loss: np.ndarray,
+    g_const: np.ndarray,
+    violated: np.ndarray,
+    delta: np.ndarray,
+    max_norm: Optional[np.ndarray] = None,
+    force: Optional[np.ndarray] = None,
+    enabled: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array-of-runs :func:`manipulate_gradient` over (N, D) gradients.
+
+    Applies the scalar rule independently per run (``delta``,
+    ``max_norm``, ``force`` are per-run arrays); runs where ``enabled``
+    is False pass through untouched (the ``manipulate_generator=False``
+    ablation).  Implemented as a per-run loop over the scalar function
+    rather than row-wise einsum dots: the 1-D BLAS dot is what the
+    scalar engine computes, and reusing it keeps every run bitwise
+    identical to a solo search (the fleet parity contract).
+    """
+    n = len(g_loss)
+    out = g_loss.copy()
+    applied = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if enabled is not None and not enabled[i]:
+            continue
+        out[i], applied[i] = manipulate_gradient(
+            g_loss[i],
+            g_const[i],
+            bool(violated[i]),
+            float(delta[i]),
+            max_norm=None if max_norm is None else float(max_norm[i]),
+            force=False if force is None else bool(force[i]),
+        )
+    return out, applied

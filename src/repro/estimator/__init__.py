@@ -13,7 +13,7 @@ is a composition of two residual MLPs:
 
 from repro.estimator.dataset import CostDataset, build_cost_dataset
 from repro.estimator.estimator import CostEstimator
-from repro.estimator.generator import HardwareGenerator
+from repro.estimator.generator import HardwareGenerator, HardwareGeneratorFleet
 from repro.estimator.training import (
     estimator_accuracy,
     pretrain_estimator,
@@ -25,6 +25,7 @@ __all__ = [
     "build_cost_dataset",
     "CostEstimator",
     "HardwareGenerator",
+    "HardwareGeneratorFleet",
     "train_estimator",
     "pretrain_estimator",
     "estimator_accuracy",

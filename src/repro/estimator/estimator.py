@@ -40,6 +40,7 @@ class CostEstimator(nn.Module):
         self.target_mean = np.zeros(3)
         self.target_std = np.ones(3)
         self.frozen = False
+        self._kernel = None
 
     def _buffers(self):
         return {"target_mean": self.target_mean, "target_std": self.target_std}
@@ -77,10 +78,43 @@ class CostEstimator(nn.Module):
         index = METRIC_INDEX[name]
         return metrics[np.array([index])].reshape(())
 
+    def fleet_kernel(self):
+        """Shared-weight raw-array kernel over this (frozen) estimator.
+
+        The search fleet differentiates through the estimator hundreds
+        of times per epoch batch; the kernel avoids per-op autodiff
+        dispatch while staying bitwise identical to :meth:`forward` on
+        ``(N, 1, in)`` inputs.  Weight arrays are shared by reference,
+        so a state-dict load is picked up automatically.
+        """
+        if not self.frozen:
+            raise ValueError("fleet_kernel requires a frozen estimator")
+        if self._kernel is None:
+            from repro.nn import ResidualMLPKernel
+
+            self._kernel = ResidualMLPKernel(mlp=self.mlp)
+        return self._kernel
+
     def predict_numpy(self, features: np.ndarray) -> np.ndarray:
         """Batch prediction without graph construction (evaluation)."""
         from repro.autodiff import no_grad
 
         with no_grad():
             normalized = self.forward(Tensor(features)).data
+        return np.exp(normalized * self.target_std + self.target_mean)
+
+    def predict_numpy_rows(self, features: np.ndarray) -> np.ndarray:
+        """Like :meth:`predict_numpy` but with per-row bitwise stability.
+
+        ``predict_numpy`` feeds one ``(N, in)`` GEMM whose rows may
+        differ from the scalar ``(1, in)`` result in the last ulp; this
+        variant stacks the batch as ``(N, 1, in)`` so NumPy runs one
+        GEMM per row, matching the scalar path exactly.  Used by the
+        fleet's dominant-architecture telemetry.
+        """
+        n = len(features)
+        out, _ = self.fleet_kernel().forward(
+            features.reshape(n, 1, -1), want_cache=False
+        )
+        normalized = out.reshape(n, -1)
         return np.exp(normalized * self.target_std + self.target_mean)

@@ -9,6 +9,8 @@ to whatever cost function and constraints are active.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
 from repro import nn
@@ -50,3 +52,96 @@ class HardwareGenerator(nn.Module):
         with no_grad():
             vector = self.forward(arch_features.detach()).data
         return AcceleratorConfig.from_vector(vector)
+
+
+def accelerator_head_forward(raw: np.ndarray):
+    """Raw (N, 6) logits -> relaxed accelerator vectors, plus head state.
+
+    The head shared by every generator variant: sigmoid over the three
+    size slots, softmax over the three dataflow slots — the exact
+    formulas of the autodiff ops, so fleet outputs stay bitwise those
+    of the scalar modules.  Returns ``(beta, size_part, dataflow_part)``;
+    the two parts feed :func:`accelerator_head_vjp`.
+    """
+    size_in = raw[:, :3]
+    size_part = 1.0 / (1.0 + np.exp(-size_in))
+    df_in = raw[:, 3:6]
+    shifted = df_in - df_in.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    dataflow_part = exp / exp.sum(axis=-1, keepdims=True)
+    beta = np.concatenate([size_part, dataflow_part], axis=1)
+    return beta, size_part, dataflow_part
+
+
+def accelerator_head_vjp(
+    d_beta: np.ndarray, size_part: np.ndarray, dataflow_part: np.ndarray
+) -> np.ndarray:
+    """d beta (N, 6) -> d raw logits (N, 6), engine-exact VJPs."""
+    d_size = d_beta[:, :3]
+    d_df = d_beta[:, 3:]
+    d_size_in = d_size * size_part * (1.0 - size_part)
+    dot = (d_df * dataflow_part).sum(axis=-1, keepdims=True)
+    d_df_in = dataflow_part * (d_df - dot)
+    d_raw = np.zeros_like(d_beta)
+    d_raw[:, :3] += d_size_in
+    d_raw[:, 3:6] += d_df_in
+    return d_raw
+
+
+class HardwareGeneratorFleet:
+    """N per-run :class:`HardwareGenerator` instances in one batched kernel.
+
+    Each search run trains its own generator (seeded from the run); the
+    fleet stacks their weights on a run axis and evaluates/differentiates
+    all of them in one lock-step pass over ``(N, F)`` architecture
+    encodings via :class:`~repro.nn.ResidualMLPKernel`, mirroring the
+    scalar forward op-for-op so each run's numbers (and gradients) are
+    bitwise identical to a solo search (the fleet parity contract, see
+    DESIGN.md).  The stacked weights are the training state — the fleet
+    updates them in place through :meth:`params`.
+    """
+
+    def __init__(self, generators: Sequence[HardwareGenerator]) -> None:
+        if not generators:
+            raise ValueError("HardwareGeneratorFleet needs at least one generator")
+        self.space = generators[0].space
+        self.n_runs = len(generators)
+        self.kernel = nn.ResidualMLPKernel(mlps=[g.mlp for g in generators])
+
+    def params(self) -> List[np.ndarray]:
+        """Stacked trainable arrays in scalar ``parameters()`` order."""
+        return self.kernel.params()
+
+    def forward(self, arch_features: np.ndarray, want_cache: bool = True):
+        """Relaxed accelerator vectors (N, 6) plus the backward cache."""
+        n = self.n_runs
+        raw3, mlp_cache = self.kernel.forward(
+            arch_features.reshape(n, 1, -1), want_cache=want_cache
+        )
+        beta, size_part, dataflow_part = accelerator_head_forward(
+            raw3.reshape(n, -1)
+        )
+        cache = (mlp_cache, size_part, dataflow_part) if want_cache else None
+        return beta, cache
+
+    def backward(
+        self,
+        cache,
+        d_beta: np.ndarray,
+        need_input: bool = True,
+        need_weights: bool = False,
+    ):
+        """VJP through head and MLP: returns (d_features or None, grads)."""
+        mlp_cache, size_part, dataflow_part = cache
+        n = self.n_runs
+        d_raw = accelerator_head_vjp(d_beta, size_part, dataflow_part)
+        d_x, grads = self.kernel.backward(
+            mlp_cache, d_raw.reshape(n, 1, -1), need_input=need_input,
+            need_weights=need_weights,
+        )
+        return (None if d_x is None else d_x.reshape(n, -1)), grads
+
+    def discretize_all(self, arch_features: np.ndarray) -> List[AcceleratorConfig]:
+        """Snap every run's output to the nearest discrete design."""
+        vectors, _ = self.forward(arch_features, want_cache=False)
+        return [AcceleratorConfig.from_vector(v) for v in vectors]

@@ -16,13 +16,14 @@ from typing import List, Optional
 import numpy as np
 
 from repro.baselines import (
-    run_autonba,
-    run_dance,
-    run_dance_soft,
-    run_hdx,
-    run_nas_then_hw,
+    autonba_config,
+    dance_config,
+    dance_soft_config,
+    finalize_nas_then_hw,
+    hdx_config,
+    nas_then_hw_config,
 )
-from repro.core import ConstraintSet
+from repro.core import ConstraintSet, run_many
 from repro.experiments.common import ascii_scatter, format_table, get_estimator, get_space
 
 LAMBDAS = (0.001, 0.002, 0.003, 0.004, 0.005)
@@ -41,53 +42,64 @@ class Fig3Row:
 
 
 def run_fig3(epochs: int = 150) -> List[Fig3Row]:
+    """Run all 50 fig-3 searches as one fleet dispatch.
+
+    The searches are mutually independent, so every config is collected
+    first and ``run_many`` batches them by method structure (NAS->HW
+    additionally gets its exhaustive hardware phase afterwards).  Rows
+    come back in the same order the sequential version produced.
+    """
     space = get_space("cifar10")
     estimator = get_estimator("cifar10")
-    rows: List[Fig3Row] = []
+
+    # (method, constraint, lambda, needs_hw_phase, config) per row.
+    plan = []
 
     # NAS->HW reference cloud: 10 solutions of various size penalties.
     for i, penalty in enumerate(np.linspace(0.0, 4.0, 10)):
-        r = run_nas_then_hw(space, estimator, size_penalty_lambda=float(penalty), seed=i, epochs=epochs)
-        rows.append(
-            Fig3Row("NAS->HW", None, 0.0, r.metrics.latency_ms, r.error_percent, r.cost, None)
+        plan.append(
+            ("NAS->HW", None, 0.0, True,
+             nas_then_hw_config(size_penalty_lambda=float(penalty), seed=i, epochs=epochs))
         )
 
     for i, lam in enumerate(LAMBDAS):
         # Unconstrained DANCE and Auto-NBA (black markers in the paper).
-        dance = run_dance(space, estimator, lambda_cost=lam, seed=i, epochs=epochs)
-        rows.append(
-            Fig3Row("DANCE", None, lam, dance.metrics.latency_ms, dance.error_percent, dance.cost, None)
+        plan.append(
+            ("DANCE", None, lam, False,
+             dance_config(lambda_cost=lam, seed=i, epochs=epochs))
         )
-        nba = run_autonba(space, estimator, lambda_cost=lam, seed=i, epochs=epochs)
-        rows.append(
-            Fig3Row("Auto-NBA", None, lam, nba.metrics.latency_ms, nba.error_percent, nba.cost, None)
+        plan.append(
+            ("Auto-NBA", None, lam, False,
+             autonba_config(lambda_cost=lam, seed=i, epochs=epochs))
         )
         for target in CONSTRAINTS_MS:
             cs = ConstraintSet.latency(target)
-            soft = run_dance_soft(space, estimator, cs, soft_lambda=1.0, lambda_cost=lam, seed=i, epochs=epochs)
-            rows.append(
-                Fig3Row(
-                    "DANCE+Soft", target, lam, soft.metrics.latency_ms,
-                    soft.error_percent, soft.cost, soft.in_constraint,
-                )
+            plan.append(
+                ("DANCE+Soft", target, lam, False,
+                 dance_soft_config(cs, soft_lambda=1.0, lambda_cost=lam, seed=i, epochs=epochs))
             )
-            nba_soft = run_autonba(
-                space, estimator, lambda_cost=lam, seed=i, epochs=epochs,
-                constraints=cs, soft_lambda=1.0,
+            plan.append(
+                ("Auto-NBA+Soft", target, lam, False,
+                 autonba_config(lambda_cost=lam, seed=i, epochs=epochs,
+                                constraints=cs, soft_lambda=1.0))
             )
-            rows.append(
-                Fig3Row(
-                    "Auto-NBA+Soft", target, lam, nba_soft.metrics.latency_ms,
-                    nba_soft.error_percent, nba_soft.cost, nba_soft.in_constraint,
-                )
+            plan.append(
+                ("HDX", target, lam, False,
+                 hdx_config(cs, lambda_cost=lam, seed=i, epochs=epochs))
             )
-            hdx = run_hdx(space, estimator, cs, lambda_cost=lam, seed=i, epochs=epochs)
-            rows.append(
-                Fig3Row(
-                    "HDX", target, lam, hdx.metrics.latency_ms,
-                    hdx.error_percent, hdx.cost, hdx.in_constraint,
-                )
+
+    results = run_many(space, estimator, [config for *_, config in plan])
+    rows: List[Fig3Row] = []
+    for (method, target, lam, hw_phase, config), result in zip(plan, results):
+        if hw_phase:
+            result = finalize_nas_then_hw(result, None)
+        in_constraint = result.in_constraint if target is not None else None
+        rows.append(
+            Fig3Row(
+                method, target, lam, result.metrics.latency_ms,
+                result.error_percent, result.cost, in_constraint,
             )
+        )
     return rows
 
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.baselines import run_hdx
-from repro.core import ConstraintSet
+from repro.baselines import hdx_config
+from repro.core import ConstraintSet, run_many
 from repro.experiments.common import format_table, get_estimator, get_space
 
 P_VALUES = (1e-2, 7e-3, 4e-3)
@@ -37,11 +37,19 @@ def run_fig4(epochs: int = 150, seed: int = 0) -> List[Fig4Curve]:
     space = get_space("cifar10")
     estimator = get_estimator("cifar10")
     curves: List[Fig4Curve] = []
-    for p in P_VALUES:
-        result = run_hdx(
-            space, estimator, ConstraintSet.latency(TARGET_MS),
-            lambda_cost=0.001, p=p, seed=seed, epochs=epochs,
-        )
+    # p is per-run data, so the whole sweep is one fleet batch.
+    results = run_many(
+        space,
+        estimator,
+        [
+            hdx_config(
+                ConstraintSet.latency(TARGET_MS),
+                lambda_cost=0.001, p=p, seed=seed, epochs=epochs,
+            )
+            for p in P_VALUES
+        ],
+    )
+    for p, result in zip(P_VALUES, results):
         curves.append(
             Fig4Curve(
                 p=p,

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.baselines import run_hdx
-from repro.core import ConstraintSet, SearchResult
+from repro.baselines import hdx_config
+from repro.core import ConstraintSet, SearchResult, run_many
 from repro.experiments.common import get_estimator, get_space
 
 
@@ -37,14 +37,22 @@ class Fig5Solution:
 def run_fig5(epochs: int = 150, seed: int = 0) -> List[Fig5Solution]:
     space = get_space("cifar10")
     estimator = get_estimator("cifar10")
-    solutions = []
-    for target, fps in ((16.6, 60), (33.3, 30)):
-        result = run_hdx(
-            space, estimator, ConstraintSet.latency(target),
-            lambda_cost=0.002, seed=seed, epochs=epochs,
-        )
-        solutions.append(Fig5Solution(target, fps, result))
-    return solutions
+    targets = ((16.6, 60), (33.3, 30))
+    results = run_many(
+        space,
+        estimator,
+        [
+            hdx_config(
+                ConstraintSet.latency(target),
+                lambda_cost=0.002, seed=seed, epochs=epochs,
+            )
+            for target, _ in targets
+        ],
+    )
+    return [
+        Fig5Solution(target, fps, result)
+        for (target, fps), result in zip(targets, results)
+    ]
 
 
 def render_fig5(solutions: List[Fig5Solution]) -> str:

@@ -63,11 +63,14 @@ def run_table2(epochs: int = 150) -> List[Table2Row]:
             "Chip Area": {"area": bounds["area"]},
             "All": dict(bounds),
         }
-        for label, case_bounds in cases.items():
+        for case_index, (label, case_bounds) in enumerate(cases.items()):
             cs = ConstraintSet.from_dict(case_bounds)
+            # Explicit arithmetic seed per case: ``hash(label)`` varies
+            # across interpreter runs (string-hash randomization) and
+            # made the committed anchors artifact unreproducible.
             result = run_hdx(
                 space, estimator, cs, lambda_cost=kw["lambda_cost"],
-                seed=kw["seed"] + hash(label) % 100, epochs=epochs,
+                seed=kw["seed"] + 100 * (case_index + 1), epochs=epochs,
             )
             rows.append(
                 Table2Row(

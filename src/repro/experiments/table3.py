@@ -10,8 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.baselines import run_dance, run_dance_soft, run_hdx, run_nas_then_hw
-from repro.core import ConstraintSet
+from repro.baselines import (
+    dance_config,
+    dance_soft_config,
+    finalize_nas_then_hw,
+    hdx_config,
+    nas_then_hw_config,
+)
+from repro.core import ConstraintSet, run_many
 from repro.core.coexplore import LAMBDA_COST_SCALE
 from repro.experiments.common import format_table, get_estimator, get_space
 
@@ -32,9 +38,28 @@ def run_table3(epochs: int = 150) -> List[Table3Row]:
     space = get_space("imagenet")
     estimator = get_estimator("imagenet")
     cs = ConstraintSet.latency(TARGET_MS)
-    rows: List[Table3Row] = []
 
-    def add(result, lambda_cost):
+    # (lambda for the loss column, needs_hw_phase, config) per row; the
+    # eight searches are independent, so one fleet dispatch covers all.
+    plan = []
+    for penalty, seed in ((0.0, 0), (1.0, 1)):
+        plan.append((0.0, True, nas_then_hw_config(
+            size_penalty_lambda=penalty, seed=seed, constraints=cs, epochs=epochs)))
+    for lam, seed in ((0.001, 0), (0.003, 1)):
+        plan.append((lam, False, dance_config(
+            lambda_cost=lam, seed=seed, constraints=cs, epochs=epochs)))
+    for lam, seed in ((0.001, 2), (0.003, 3)):
+        plan.append((lam, False, dance_soft_config(
+            cs, soft_lambda=1.0, lambda_cost=lam, seed=seed, epochs=epochs)))
+    for lam, seed in ((0.001, 0), (0.003, 1)):
+        plan.append((lam, False, hdx_config(
+            cs, lambda_cost=lam, seed=seed, epochs=epochs)))
+
+    results = run_many(space, estimator, [config for _, _, config in plan])
+    rows: List[Table3Row] = []
+    for (lambda_cost, hw_phase, _), result in zip(plan, results):
+        if hw_phase:
+            result = finalize_nas_then_hw(result, cs)
         rows.append(
             Table3Row(
                 method=result.method,
@@ -45,18 +70,6 @@ def run_table3(epochs: int = 150) -> List[Table3Row]:
                 loss=result.loss_nas + lambda_cost * LAMBDA_COST_SCALE * result.cost,
             )
         )
-
-    for penalty, seed in ((0.0, 0), (1.0, 1)):
-        add(run_nas_then_hw(space, estimator, size_penalty_lambda=penalty, seed=seed,
-                            constraints=cs, epochs=epochs), 0.0)
-    for lam, seed in ((0.001, 0), (0.003, 1)):
-        add(run_dance(space, estimator, lambda_cost=lam, seed=seed, constraints=cs,
-                      epochs=epochs), lam)
-    for lam, seed in ((0.001, 2), (0.003, 3)):
-        add(run_dance_soft(space, estimator, cs, soft_lambda=1.0, lambda_cost=lam,
-                           seed=seed, epochs=epochs), lam)
-    for lam, seed in ((0.001, 0), (0.003, 1)):
-        add(run_hdx(space, estimator, cs, lambda_cost=lam, seed=seed, epochs=epochs), lam)
     return rows
 
 

@@ -23,7 +23,7 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.residual import ResidualMLP, ResidualMLPBlock
+from repro.nn.residual import ResidualMLP, ResidualMLPBlock, ResidualMLPKernel
 from repro.nn.losses import accuracy, cross_entropy, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.scheduler import ConstantLR, CosineAnnealingLR, StepLR
@@ -49,6 +49,7 @@ __all__ = [
     "GlobalAvgPool2d",
     "ResidualMLP",
     "ResidualMLPBlock",
+    "ResidualMLPKernel",
     "cross_entropy",
     "mse_loss",
     "l1_loss",

@@ -7,7 +7,7 @@ connections"; these classes implement exactly that shape.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -70,3 +70,181 @@ class ResidualMLP(Module):
         if self.extra is not None:
             hidden = ops.relu(self.extra(hidden))
         return self.out_proj(hidden)
+
+
+class ResidualMLPKernel:
+    """Raw-array lock-step forward/VJP for a :class:`ResidualMLP` stack.
+
+    The search fleet advances hundreds of epochs over many runs; going
+    through the autodiff graph costs a Python-level op dispatch per
+    tensor per pass.  This kernel evaluates the same residual MLP on
+    plain ``(N, 1, in)`` arrays with hand-written vector-Jacobian
+    products that mirror the autodiff ops **bit for bit** (relu as
+    ``x * (x > 0)``, matmuls in stacked per-run layouts, weight VJPs as
+    the outer-product broadcast the engine uses, residual adds in the
+    engine's accumulation order).
+
+    Two weight layouts:
+
+    * ``mlps=[...]`` — one :class:`ResidualMLP` per run; weights are
+      stacked to ``(N, out, in)`` / ``(N, 1, out)`` and trained by the
+      caller (``params()`` exposes them in scalar parameter order, so
+      per-run flattened gradients line up with the scalar engine's);
+    * ``mlp=...`` — one shared (frozen) MLP; weights stay 2-D and
+      ``backward`` only propagates to the input.
+
+    Do not change :class:`ResidualMLP` without updating this kernel —
+    ``test_fleet_parity`` / ``test_nn_modules`` pin the equivalence
+    (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        mlps: Optional[Sequence[ResidualMLP]] = None,
+        mlp: Optional[ResidualMLP] = None,
+    ) -> None:
+        if (mlps is None) == (mlp is None):
+            raise ValueError("pass exactly one of mlps= or mlp=")
+        self.stacked = mlps is not None
+        ref = mlps[0] if self.stacked else mlp
+        order = [ref.in_proj]
+        for block in ref.blocks:
+            order.extend([block.fc1, block.fc2])
+        if ref.extra is not None:
+            order.append(ref.extra)
+        order.append(ref.out_proj)
+        self.n_blocks = len(ref.blocks)
+        self.has_extra = ref.extra is not None
+        if self.stacked:
+            peers = [
+                [m.in_proj]
+                + [fc for b in m.blocks for fc in (b.fc1, b.fc2)]
+                + ([m.extra] if m.extra is not None else [])
+                + [m.out_proj]
+                for m in mlps
+            ]
+            self.weights = [
+                np.stack([p[k].weight.data for p in peers]) for k in range(len(order))
+            ]
+            self.biases = [
+                np.stack([p[k].bias.data.reshape(1, -1) for p in peers])
+                for k in range(len(order))
+            ]
+        else:
+            self.weights = [lin.weight.data for lin in order]
+            self.biases = [lin.bias.data for lin in order]
+
+    # ------------------------------------------------------------------
+    def params(self) -> List[np.ndarray]:
+        """Trainable arrays in scalar ``parameters()`` order (W, b, ...)."""
+        out: List[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            out.extend([w, b])
+        return out
+
+    def _linear(self, x: np.ndarray, k: int) -> np.ndarray:
+        w = self.weights[k]
+        wt = w.transpose(0, 2, 1) if self.stacked else w.T
+        return x @ wt + self.biases[k]
+
+    def forward(self, x: np.ndarray, want_cache: bool = True):
+        """Map (N, 1, in) -> (N, 1, out); cache is fed to :meth:`backward`."""
+        inputs: List[Optional[np.ndarray]] = []
+        masks: List[Optional[np.ndarray]] = []
+        k = 0
+        inputs.append(x if want_cache else None)
+        z = self._linear(x, k)
+        mask = z > 0
+        h = z * mask
+        masks.append(mask if want_cache else None)
+        k += 1
+        for _ in range(self.n_blocks):
+            h_in = h
+            inputs.append(h_in if want_cache else None)
+            z1 = self._linear(h_in, k)
+            m1 = z1 > 0
+            h1 = z1 * m1
+            masks.append(m1 if want_cache else None)
+            k += 1
+            inputs.append(h1 if want_cache else None)
+            z2 = self._linear(h1, k) + h_in
+            m2 = z2 > 0
+            h = z2 * m2
+            masks.append(m2 if want_cache else None)
+            k += 1
+        if self.has_extra:
+            inputs.append(h if want_cache else None)
+            z = self._linear(h, k)
+            mask = z > 0
+            h = z * mask
+            masks.append(mask if want_cache else None)
+            k += 1
+        inputs.append(h if want_cache else None)
+        out = self._linear(h, k)
+        cache = (inputs, masks) if want_cache else None
+        return out, cache
+
+    def _weight_grad(self, x: np.ndarray, g: np.ndarray) -> np.ndarray:
+        # The engine computes d(W^T) as the broadcast outer product
+        # swapaxes(x) * g, then transposes back to the (N, out, in)
+        # parameter layout — mirror both steps.
+        return (np.swapaxes(x, -1, -2) * g).transpose(0, 2, 1)
+
+    def backward(
+        self,
+        cache,
+        d_out: np.ndarray,
+        need_input: bool = True,
+        need_weights: bool = False,
+    ):
+        """VJP: returns (d_x or None, [dW, db, ...] or None)."""
+        if need_weights and not self.stacked:
+            raise ValueError("shared-weight kernel has no trainable weights")
+        inputs, masks = cache
+        n_lin = len(self.weights)
+        d_w: List[Optional[np.ndarray]] = [None] * n_lin
+        d_b: List[Optional[np.ndarray]] = [None] * n_lin
+        k = n_lin - 1
+        m = len(masks) - 1
+        g = d_out
+        # out_proj (no activation)
+        if need_weights:
+            d_w[k] = self._weight_grad(inputs[k], g)
+            d_b[k] = g
+        g = g @ self.weights[k]
+        k -= 1
+        if self.has_extra:
+            g = g * masks[m]
+            m -= 1
+            if need_weights:
+                d_w[k] = self._weight_grad(inputs[k], g)
+                d_b[k] = g
+            g = g @ self.weights[k]
+            k -= 1
+        for _ in range(self.n_blocks):
+            g = g * masks[m]  # relu at the residual output
+            m -= 1
+            d_res = g  # the skip connection's share
+            if need_weights:
+                d_w[k] = self._weight_grad(inputs[k], g)
+                d_b[k] = g
+            g = g @ self.weights[k]
+            k -= 1
+            g = g * masks[m]
+            m -= 1
+            if need_weights:
+                d_w[k] = self._weight_grad(inputs[k], g)
+                d_b[k] = g
+            g = (g @ self.weights[k]) + d_res
+            k -= 1
+        g = g * masks[m]
+        if need_weights:
+            d_w[0] = self._weight_grad(inputs[0], g)
+            d_b[0] = g
+        d_x = (g @ self.weights[0]) if need_input else None
+        grads = None
+        if need_weights:
+            grads = []
+            for w_grad, b_grad in zip(d_w, d_b):
+                grads.extend([w_grad, b_grad])
+        return d_x, grads

@@ -7,6 +7,6 @@ swaps the supernet loss for a calibrated differentiable surrogate of
 generator, gradient manipulation, optimizers) identical.
 """
 
-from repro.surrogate.accuracy import AccuracySurrogate
+from repro.surrogate.accuracy import AccuracySurrogate, AccuracySurrogateFleet
 
-__all__ = ["AccuracySurrogate"]
+__all__ = ["AccuracySurrogate", "AccuracySurrogateFleet"]

@@ -116,3 +116,46 @@ class AccuracySurrogate:
 
     def loss_of(self, arch: NetworkArch) -> float:
         return float(self.loss_nas(self._one_hot(arch)).item())
+
+
+class AccuracySurrogateFleet:
+    """Run-axis batched ``Loss_NAS`` over N per-run jittered surrogates.
+
+    Each search run sees its own jittered loss landscape (see
+    :class:`AccuracySurrogate`); the fleet stacks the per-run score
+    tables and evaluates all runs in one pass.  Capacity reduces over
+    trailing axes and everything else is elementwise, so each run's
+    loss (and gradient) is bitwise identical to its scalar surrogate.
+    """
+
+    def __init__(self, surrogates: Sequence[AccuracySurrogate]) -> None:
+        if not surrogates:
+            raise ValueError("AccuracySurrogateFleet needs at least one surrogate")
+        self.space = surrogates[0].space
+        self.calibration = surrogates[0].calibration
+        self._scores = np.stack([s._scores for s in surrogates])  # (N, L, C)
+        self._max_capacity = np.array([s._max_capacity for s in surrogates])
+
+    def capacity(self, probs: Union[Tensor, np.ndarray]) -> Tensor:
+        """Expected capacities of N architecture distributions (N, L*C)."""
+        probs = as_tensor(probs)
+        n = probs.shape[0]
+        weighted = (
+            probs.reshape(n, self.space.num_layers, self.space.num_choices)
+            * self._scores
+        )
+        return weighted.sum(axis=(1, 2))
+
+    def expected_error(self, probs: Union[Tensor, np.ndarray]) -> Tensor:
+        """Expected test errors (%), shape (N,) — differentiable."""
+        cal = self.calibration
+        cap = self.capacity(probs)
+        midpoint = cal["cap_frac"] * self._max_capacity
+        scale = cal["cap_scale"] * self._max_capacity
+        z = (cap - midpoint) * (1.0 / scale)
+        return cal["err_floor"] + cal["err_spread"] * (-z).sigmoid()
+
+    def loss_nas(self, probs: Union[Tensor, np.ndarray]) -> Tensor:
+        """Per-run differentiable surrogate losses, shape (N,)."""
+        cal = self.calibration
+        return self.expected_error(probs) * cal["loss_scale"] + cal["loss_bias"]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.accelerator import DesignSpace, cost_hw, evaluate_network, exhaustive_search
-from repro.accelerator.batch import evaluate_network_space
+from repro.accelerator.batch import evaluate_network_batch, evaluate_network_space
 from repro.arch import NetworkArch, cifar_space
 
 SPACE = cifar_space()
@@ -55,6 +55,55 @@ class TestBatchEvaluation:
         ev = evaluate_network_space(arch)
         _, index = ev.best(objective=ev.latency_ms)
         assert ev.latency_ms[index] == ev.latency_ms.min()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_subset_matches_scalar_on_repair_neighbourhood(self, seed):
+        """The config-subset evaluator must agree with the scalar
+        oracle on exactly the batch decode repair scans."""
+        from repro.accelerator.config import AcceleratorConfig, Dataflow
+        from repro.core.coexplore import neighbourhood_configs
+
+        rng = np.random.default_rng(seed)
+        arch = NetworkArch.random(SPACE, rng)
+        centre = AcceleratorConfig(14, 12, 64, Dataflow.RS)
+        neighbours = list(neighbourhood_configs(centre))
+        assert len(neighbours) == 81  # 3 rows x 3 cols x 3 rf x 3 dataflows
+        ev = evaluate_network_batch(arch, neighbours)
+        assert ev.configs == neighbours
+        for index in (0, 17, 40, 63, 80):
+            truth = evaluate_network(arch, neighbours[index])
+            assert ev.latency_ms[index] == pytest.approx(truth.latency_ms, rel=1e-12)
+            assert ev.energy_mj[index] == pytest.approx(truth.energy_mj, rel=1e-12)
+            assert ev.area_mm2[index] == pytest.approx(truth.area_mm2, rel=1e-12)
+
+    def test_subset_boundary_neighbourhood_is_clipped(self):
+        """Neighbourhoods at the design-space corner stay in bounds and
+        the subset evaluator accepts the smaller batch."""
+        from repro.accelerator.config import (
+            AcceleratorConfig,
+            Dataflow,
+            PE_COLS_RANGE,
+            PE_ROWS_RANGE,
+        )
+        from repro.core.coexplore import neighbourhood_configs
+
+        corner = AcceleratorConfig(PE_ROWS_RANGE[0], PE_COLS_RANGE[0], 16, Dataflow.WS)
+        neighbours = list(neighbourhood_configs(corner))
+        assert len(neighbours) == 2 * 2 * 2 * 3
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        ev = evaluate_network_batch(arch, neighbours)
+        assert ev.latency_ms.shape == (len(neighbours),)
+        assert np.all(ev.latency_ms > 0)
+
+    def test_space_is_subset_of_itself(self):
+        """Full-space evaluation equals the subset evaluator on the
+        same grid (they share the array implementation)."""
+        arch = NetworkArch.from_indices(SPACE, [2] * SPACE.num_layers)
+        full = evaluate_network_space(arch)
+        subset = evaluate_network_batch(arch, full.configs[100:110])
+        assert np.array_equal(subset.latency_ms, full.latency_ms[100:110])
+        assert np.array_equal(subset.energy_mj, full.energy_mj[100:110])
+        assert np.array_equal(subset.area_mm2, full.area_mm2[100:110])
 
     def test_much_faster_than_scalar(self):
         import time

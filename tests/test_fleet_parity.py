@@ -1,0 +1,295 @@
+"""Seed-for-seed parity of the batched search fleet vs the scalar engine.
+
+The fleet's contract (DESIGN.md) is not "approximately the same": every
+run dispatched through :func:`repro.core.run_many` must reproduce the
+scalar :class:`CoExplorer` bit for bit — the full per-epoch telemetry
+(losses, predicted metrics, delta schedule, violation/manipulation
+flags) and the final architecture, accelerator, and ground-truth
+metrics.  Any drift (a re-ordered reduction, a flat GEMM instead of a
+stacked one, a skipped RNG draw) compounds over epochs into different
+search outcomes, so the comparisons below use exact equality, not
+tolerances.
+"""
+
+import pytest
+
+from repro.arch import cifar_space
+from repro.baselines import (
+    GPU_HOURS_PER_SEARCH,
+    MetaSearch,
+    dance_config,
+    finalize_nas_then_hw,
+    nas_then_hw_config,
+)
+from repro.core import CoExplorer, ConstraintSet, SearchConfig, SearchFleet, run_many
+from repro.core.fleet import _structure_key
+
+SPACE = cifar_space()
+
+#: Heterogeneous configs covering every structural group the
+#: experiments exercise: unconstrained DANCE, hard-constrained HDX
+#: (including a second HDX seed so one group really batches), the soft
+#: penalty, the direct-beta Auto-NBA path, the cost-term-free NAS phase
+#: with a size penalty, and the EDP-cost ablation.
+PARITY_CONFIGS = [
+    SearchConfig(lambda_cost=0.002, seed=3, epochs=40, hard_constraints=False,
+                 method_name="DANCE"),
+    SearchConfig(lambda_cost=0.004, seed=7, epochs=40,
+                 constraints=ConstraintSet.latency(16.6), method_name="HDX"),
+    SearchConfig(lambda_cost=0.004, seed=9, epochs=40,
+                 constraints=ConstraintSet.latency(16.6), method_name="HDX"),
+    # Same structural group as the HDX runs but with the generator-side
+    # manipulation ablated: per-run flags must hold inside one batch.
+    SearchConfig(lambda_cost=0.004, seed=15, epochs=40,
+                 constraints=ConstraintSet.latency(16.6),
+                 manipulate_generator=False, method_name="HDX-nomv"),
+    SearchConfig(lambda_cost=0.001, seed=1, epochs=40, hard_constraints=False,
+                 soft_lambda=1.0, constraints=ConstraintSet.latency(33.3),
+                 method_name="DANCE+Soft"),
+    SearchConfig(lambda_cost=0.003, seed=5, epochs=40, hard_constraints=False,
+                 use_generator=False, method_name="Auto-NBA"),
+    SearchConfig(include_cost_term=False, hard_constraints=False,
+                 size_penalty_lambda=2.0, seed=2, epochs=40,
+                 constraints=ConstraintSet.latency(40.0), method_name="NAS->HW"),
+    SearchConfig(lambda_cost=0.004, seed=11, epochs=40, use_edp_cost=True,
+                 constraints=ConstraintSet.latency(16.6), method_name="EDP"),
+]
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    from repro.experiments.common import get_estimator
+
+    return get_estimator("cifar10")
+
+
+@pytest.fixture(scope="module")
+def paired_results(estimator):
+    scalar = [CoExplorer(SPACE, estimator, c).search() for c in PARITY_CONFIGS]
+    fleet = run_many(SPACE, estimator, PARITY_CONFIGS)
+    return scalar, fleet
+
+
+class TestSeedForSeedParity:
+    def test_final_results_identical(self, paired_results):
+        scalar, fleet = paired_results
+        for config, s, f in zip(PARITY_CONFIGS, scalar, fleet):
+            label = f"{config.method_name} seed={config.seed}"
+            assert f.arch == s.arch, label
+            assert f.config == s.config, label
+            assert f.metrics == s.metrics, label
+            assert f.error_percent == s.error_percent, label
+            assert f.loss_nas == s.loss_nas, label
+            assert f.cost == s.cost, label
+            assert f.in_constraint == s.in_constraint, label
+            assert f.method == s.method, label
+
+    def test_epoch_histories_identical(self, paired_results):
+        scalar, fleet = paired_results
+        for config, s, f in zip(PARITY_CONFIGS, scalar, fleet):
+            assert len(s.history) == len(f.history) == config.epochs
+            for epoch, (a, b) in enumerate(zip(s.history, f.history)):
+                assert a.__dict__ == b.__dict__, (
+                    f"{config.method_name} seed={config.seed} epoch={epoch}"
+                )
+
+    def test_constrained_runs_actually_manipulated(self, paired_results):
+        """Guard against vacuous parity: the suite must exercise the
+        gradient-manipulation machinery, not just unconstrained runs."""
+        _, fleet = paired_results
+        hdx = [r for r in fleet if r.method == "HDX"]
+        assert any(rec.manipulated_alpha for r in hdx for rec in r.history)
+
+
+class TestFleetDispatch:
+    def test_results_in_input_order(self, estimator):
+        configs = [
+            dance_config(lambda_cost=0.001 * (i + 1), seed=i, epochs=15)
+            for i in range(4)
+        ]
+        # Interleave a structurally different run in the middle.
+        configs.insert(2, nas_then_hw_config(size_penalty_lambda=1.0, seed=9, epochs=15))
+        results = run_many(SPACE, estimator, configs)
+        assert [r.method for r in results] == [
+            "DANCE", "DANCE", "NAS->HW", "DANCE", "DANCE",
+        ]
+
+    def test_structure_key_groups_batchable_runs(self):
+        a = dance_config(lambda_cost=0.001, seed=0)
+        b = dance_config(lambda_cost=0.009, seed=5, alpha_lr=0.1, nas_grad_noise=0.0)
+        assert _structure_key(a) == _structure_key(b)
+        for different in (
+            dance_config(seed=0, epochs=10),
+            nas_then_hw_config(seed=0),
+            dance_config(seed=0, constraints=ConstraintSet.latency(16.6)),
+            SearchConfig(seed=0, constraints=ConstraintSet.latency(16.6)),
+        ):
+            assert _structure_key(a) != _structure_key(different)
+
+    def test_full_fidelity_falls_back_to_scalar(self, estimator):
+        config = SearchConfig(fidelity="full", epochs=1)
+        fleet = SearchFleet(SPACE, estimator, [config])
+        with pytest.raises(ValueError, match="full fidelity requires a dataset"):
+            fleet.search_all()
+
+
+class TestMetaSearchRounds:
+    def test_run_many_matches_sequential_run(self, estimator):
+        """Lock-step rounds must replay the per-designer tuning loops."""
+        constraints = ConstraintSet.latency(16.6)
+
+        def factory(control, seed):
+            return dance_config(
+                lambda_cost=control, seed=seed, constraints=constraints, epochs=25
+            )
+
+        def search_fn(control, seed):
+            return CoExplorer(SPACE, estimator, factory(control, seed)).search()
+
+        def batch_fn(requests):
+            return run_many(SPACE, estimator, [factory(c, s) for c, s in requests])
+
+        meta = MetaSearch("DANCE", search_fn, "latency", 16.6, 0.001, max_searches=4)
+        sequential = [meta.run(seed=s) for s in range(3)]
+        batched = meta.run_many(range(3), batch_fn)
+        for s, b in zip(sequential, batched):
+            assert b.n_searches == s.n_searches
+            assert b.control_values == s.control_values
+            assert b.accepted == s.accepted
+            assert b.final.arch == s.final.arch
+            assert b.final.metrics == s.final.metrics
+            assert b.gpu_hours == pytest.approx(
+                s.n_searches * GPU_HOURS_PER_SEARCH["DANCE"]
+            )
+
+    def test_nas_then_hw_phase_matches_wrapper(self, estimator):
+        """finalize_nas_then_hw must equal the one-shot wrapper."""
+        from repro.baselines import run_nas_then_hw
+
+        constraints = ConstraintSet.latency(40.0)
+        config = nas_then_hw_config(
+            size_penalty_lambda=1.5, seed=4, constraints=constraints, epochs=25
+        )
+        wrapper = run_nas_then_hw(
+            SPACE, estimator, size_penalty_lambda=1.5, seed=4,
+            constraints=constraints, epochs=25,
+        )
+        fleet = finalize_nas_then_hw(
+            run_many(SPACE, estimator, [config])[0], constraints
+        )
+        assert fleet.arch == wrapper.arch
+        assert fleet.config == wrapper.config
+        assert fleet.metrics == wrapper.metrics
+
+
+class TestBatchedHelpers:
+    """The array-of-runs building blocks match their scalar twins
+    bitwise — the per-layer guarantees the engine parity composes from."""
+
+    def test_batched_encodings_match_scalar(self):
+        import numpy as np
+
+        from repro.arch.encoding import (
+            arch_features_from_alpha,
+            arch_features_from_alpha_batch,
+            arch_features_from_indices,
+            arch_features_from_indices_batch,
+            extended_features_from_indices,
+            extended_features_from_indices_batch,
+            summary_from_probs,
+            summary_from_probs_batch,
+        )
+        from repro.autodiff import Tensor
+
+        rng = np.random.default_rng(0)
+        n = 4
+        alphas = rng.normal(0.0, 0.5, size=(n, SPACE.num_layers, SPACE.num_choices))
+        batch = arch_features_from_alpha_batch(SPACE, alphas)
+        summaries = summary_from_probs_batch(SPACE, batch)
+        indices = rng.integers(0, 6, size=(n, SPACE.num_layers))
+        one_hot = arch_features_from_indices_batch(SPACE, indices)
+        extended = extended_features_from_indices_batch(SPACE, indices)
+        for i in range(n):
+            scalar_feats = arch_features_from_alpha(SPACE, Tensor(alphas[i])).data
+            assert np.array_equal(batch[i], scalar_feats)
+            assert np.array_equal(
+                summaries[i], summary_from_probs(SPACE, batch[i]).data
+            )
+            assert np.array_equal(
+                one_hot[i], arch_features_from_indices(SPACE, indices[i])
+            )
+            assert np.array_equal(
+                extended[i], extended_features_from_indices(SPACE, indices[i])
+            )
+
+    def test_batched_violated_matches_scalar(self):
+        import numpy as np
+
+        from repro.core.constraints import batched_violated
+
+        rng = np.random.default_rng(1)
+        n = 5
+        metrics = rng.uniform(1.0, 40.0, size=(n, 3))
+        names = ["latency", "energy"]
+        bounds = np.stack(
+            [rng.uniform(5.0, 45.0, size=n), rng.uniform(5.0, 45.0, size=n)]
+        )
+        flags = batched_violated(metrics, names, bounds)
+        for i in range(n):
+            scalar_set = ConstraintSet.from_dict(
+                {name: float(bounds[k, i]) for k, name in enumerate(names)}
+            )
+            assert flags[i] == scalar_set.violated(metrics[i])
+        assert flags.any() and not flags.all()  # the fixture covers both sides
+
+    def test_manipulate_gradient_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.core.gradmanip import manipulate_gradient, manipulate_gradient_batch
+
+        rng = np.random.default_rng(2)
+        n, dim = 6, 40
+        g_loss = rng.normal(size=(n, dim))
+        g_const = rng.normal(size=(n, dim))
+        violated = np.array([True, True, False, True, True, False])
+        delta = rng.uniform(1e-4, 1e-1, size=n)
+        max_norm = np.full(n, 0.5)
+        force = np.array([False, True, False, False, True, True])
+        enabled = np.array([True, True, True, False, True, True])
+        out, applied = manipulate_gradient_batch(
+            g_loss, g_const, violated, delta, max_norm=max_norm, force=force,
+            enabled=enabled,
+        )
+        for i in range(n):
+            if not enabled[i]:
+                ref, ref_applied = g_loss[i], False
+            else:
+                ref, ref_applied = manipulate_gradient(
+                    g_loss[i], g_const[i], bool(violated[i]), float(delta[i]),
+                    max_norm=float(max_norm[i]), force=bool(force[i]),
+                )
+            assert np.array_equal(out[i], ref)
+            assert applied[i] == ref_applied
+
+    def test_delta_policy_array_matches_scalar(self):
+        import numpy as np
+
+        from repro.core.delta import DeltaPolicy, DeltaPolicyArray
+
+        delta0 = np.array([1e-2, 1e-3, 5e-2])
+        p = np.array([1e-2, 2e-2, 1e-1])
+        array_policy = DeltaPolicyArray(delta0, p)
+        scalar_policies = [DeltaPolicy(d, q) for d, q in zip(delta0, p)]
+        pattern = [
+            np.array([True, False, True]),
+            np.array([True, True, False]),
+            np.array([False, True, True]),
+            np.array([True, True, True]),
+        ]
+        for violated in pattern:
+            array_policy.update(violated)
+            for policy, flag in zip(scalar_policies, violated):
+                policy.update(bool(flag))
+            assert np.array_equal(
+                array_policy.delta, np.array([pol.delta for pol in scalar_policies])
+            )

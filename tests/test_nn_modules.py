@@ -191,3 +191,71 @@ class TestActivationsAndPooling:
         ident = nn.Identity()
         x = Tensor(RNG.standard_normal((3, 3)))
         np.testing.assert_array_equal(ident(x).data, x.data)
+
+
+class TestResidualMLPKernel:
+    """The raw-array kernel must be bitwise the autodiff ResidualMLP.
+
+    The search fleet's parity contract rests on this equivalence
+    (DESIGN.md): forward values, input gradients, and per-run weight
+    gradients all compare with exact equality.
+    """
+
+    def _scalar_reference(self, mlps, xs):
+        outs, d_xs, d_ws = [], [], []
+        for mlp, x in zip(mlps, xs):
+            tensor = Tensor(x.copy(), requires_grad=True)
+            out = mlp(tensor)
+            out.sum().backward()
+            outs.append(out.data.copy())
+            d_xs.append(tensor.grad.copy())
+            d_ws.append([p.grad.copy() for p in mlp.parameters()])
+            mlp.zero_grad()
+        return outs, d_xs, d_ws
+
+    def test_stacked_kernel_matches_per_run_mlps(self):
+        n, features, width = 5, 11, 16
+        mlps = [
+            nn.ResidualMLP(features, 4, width=width, n_layers=5,
+                           rng=np.random.default_rng(100 + i))
+            for i in range(n)
+        ]
+        xs = [RNG.standard_normal((1, features)) for _ in range(n)]
+        outs, d_xs, d_ws = self._scalar_reference(mlps, xs)
+
+        kernel = nn.ResidualMLPKernel(mlps=mlps)
+        x = np.stack(xs)  # (N, 1, F)
+        out, cache = kernel.forward(x)
+        d_x, grads = kernel.backward(
+            cache, np.ones_like(out), need_input=True, need_weights=True
+        )
+        for i in range(n):
+            assert np.array_equal(out[i], outs[i])
+            assert np.array_equal(d_x[i], d_xs[i])
+            for grad, ref in zip(grads, d_ws[i]):
+                assert np.array_equal(grad[i].reshape(ref.shape), ref)
+
+    def test_shared_kernel_matches_mlp_rows(self):
+        mlp = nn.ResidualMLP(9, 3, width=12, n_layers=5, rng=np.random.default_rng(7))
+        xs = [RNG.standard_normal((1, 9)) for _ in range(4)]
+        outs, d_xs, _ = self._scalar_reference([mlp] * 4, xs)
+        kernel = nn.ResidualMLPKernel(mlp=mlp)
+        out, cache = kernel.forward(np.stack(xs))
+        d_x, _ = kernel.backward(cache, np.ones_like(out))
+        for i in range(4):
+            assert np.array_equal(out[i], outs[i])
+            assert np.array_equal(d_x[i], d_xs[i])
+
+    def test_shared_kernel_refuses_weight_grads(self):
+        mlp = nn.ResidualMLP(6, 2, width=8, n_layers=3, rng=np.random.default_rng(1))
+        kernel = nn.ResidualMLPKernel(mlp=mlp)
+        out, cache = kernel.forward(RNG.standard_normal((2, 1, 6)))
+        with pytest.raises(ValueError):
+            kernel.backward(cache, np.ones_like(out), need_weights=True)
+
+    def test_requires_exactly_one_layout(self):
+        mlp = nn.ResidualMLP(4, 2, width=8, n_layers=3)
+        with pytest.raises(ValueError):
+            nn.ResidualMLPKernel()
+        with pytest.raises(ValueError):
+            nn.ResidualMLPKernel(mlps=[mlp], mlp=mlp)
