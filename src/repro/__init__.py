@@ -2,9 +2,11 @@
 
 Reproduces "Enabling Hard Constraints in Differentiable Neural Network
 and Accelerator Co-Exploration" (Hong et al., DAC 2022) from scratch in
-NumPy: autodiff engine, NN library, NAS supernet, Eyeriss-style
-analytical cost model, learned estimator/generator, the HDX gradient
-manipulation, baselines, and the full experiment/benchmark harness.
+NumPy: autodiff engine, NN library, NAS supernet, a registry of
+hardware platforms (Eyeriss-style default plus edge and TPU-like
+targets) with per-platform analytical cost models, learned
+estimator/generator, the HDX gradient manipulation, baselines, and the
+full experiment/benchmark harness.
 
 See README.md for usage and DESIGN.md for the system inventory.
 """

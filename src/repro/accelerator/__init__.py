@@ -1,10 +1,12 @@
-"""Eyeriss-style accelerator model — Timeloop/Accelergy substitute.
+"""Accelerator models — Timeloop/Accelergy substitute, per platform.
 
-The design space follows the paper's Section 4.4: a 2-D PE array from
-12x8 to 20x24, a per-PE register file from 16 B to 256 B, and a
-dataflow chosen from weight-stationary (WS, TPU-like),
+The default ``"eyeriss"`` platform follows the paper's Section 4.4: a
+2-D PE array from 12x8 to 20x24, a per-PE register file from 16 B to
+256 B, and a dataflow chosen from weight-stationary (WS, TPU-like),
 output-stationary (OS, ShiDianNao-like), and row-stationary (RS,
-Eyeriss-like).
+Eyeriss-like).  Additional hardware targets are registered through
+:mod:`repro.accelerator.platform`; every analytical entry point takes
+an optional platform handle and otherwise resolves the config's own.
 
 ``evaluate_network`` is the ground-truth oracle used to pre-train the
 learned estimator and to report final metrics, exactly as the paper
@@ -20,6 +22,15 @@ from repro.accelerator.config import (
 from repro.accelerator.energy import EnergyTable, default_energy_table
 from repro.accelerator.area import area_mm2
 from repro.accelerator.timeloop import LayerMapping, map_layer
+from repro.accelerator.platform import (
+    DEFAULT_PLATFORM,
+    Platform,
+    as_platform,
+    available_platforms,
+    get_platform,
+    register_platform,
+    unregister_platform,
+)
 from repro.accelerator.cost import (
     COST_WEIGHTS,
     HardwareMetrics,
@@ -39,6 +50,13 @@ __all__ = [
     "area_mm2",
     "LayerMapping",
     "map_layer",
+    "Platform",
+    "DEFAULT_PLATFORM",
+    "as_platform",
+    "available_platforms",
+    "get_platform",
+    "register_platform",
+    "unregister_platform",
     "HardwareMetrics",
     "cost_hw",
     "COST_WEIGHTS",

@@ -2,7 +2,9 @@
 
 Area decomposes into PE array (MAC datapath + register file per PE),
 the shared global buffer, and NoC wiring proportional to the array
-perimeter.  Constants are calibrated so the design-space extremes span
+perimeter.  The constants are per-platform (see
+:mod:`repro.accelerator.platform`); the module-level values below are
+the eyeriss calibration, chosen so that design-space extremes span
 roughly 1.7-2.8 mm^2, matching the range reported in the paper's
 Table 2 (1.86-2.53 mm^2).
 """
@@ -21,8 +23,15 @@ GLOBAL_BUFFER_MM2 = 1.5
 NOC_MM2_PER_LANE = 0.002
 
 
-def area_mm2(config: AcceleratorConfig) -> float:
-    """Total silicon area of a configuration in mm^2."""
-    pe_area = config.num_pes * (PE_BASE_MM2 + RF_MM2_PER_BYTE * config.rf_bytes)
-    noc_area = NOC_MM2_PER_LANE * (config.pe_rows + config.pe_cols)
-    return pe_area + GLOBAL_BUFFER_MM2 + noc_area
+def area_mm2(config: AcceleratorConfig, platform=None) -> float:
+    """Total silicon area of a configuration in mm^2.
+
+    ``platform`` defaults to the config's own platform and supplies the
+    process/area constants.
+    """
+    from repro.accelerator.platform import as_platform
+
+    plat = as_platform(platform if platform is not None else config.platform)
+    pe_area = config.num_pes * (plat.pe_base_mm2 + plat.rf_mm2_per_byte * config.rf_bytes)
+    noc_area = plat.noc_mm2_per_lane * (config.pe_rows + config.pe_cols)
+    return pe_area + plat.global_buffer_mm2 + noc_area

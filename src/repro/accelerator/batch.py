@@ -22,31 +22,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.accelerator.area import (
-    GLOBAL_BUFFER_MM2,
-    NOC_MM2_PER_LANE,
-    PE_BASE_MM2,
-    RF_MM2_PER_BYTE,
-)
-from repro.accelerator.config import (
-    DATAFLOWS,
-    AcceleratorConfig,
-    Dataflow,
-    GLOBAL_BUFFER_BYTES,
-    PE_COLS_RANGE,
-    PE_ROWS_RANGE,
-    RF_BYTES_OPTIONS,
-    WORD_BYTES,
-)
+from repro.accelerator.config import DATAFLOWS, AcceleratorConfig
 from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES
-from repro.accelerator.energy import EnergyTable, default_energy_table
-from repro.accelerator.timeloop import (
-    BUFFER_WORDS_PER_CYCLE,
-    CLOCK_MHZ,
-    DATAFLOW_ENERGY_FACTOR,
-    DRAM_WORDS_PER_CYCLE,
-    WS_DEPTHWISE_PENALTY,
-)
+from repro.accelerator.energy import EnergyTable
+from repro.accelerator.platform import Platform, as_platform
 from repro.arch.network import ConvLayerDesc, NetworkArch
 
 
@@ -91,18 +70,20 @@ class SpaceEvaluation:
         return self.configs[index], index
 
 
-def _grid() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[AcceleratorConfig]]:
-    """Flattened (rows, cols, rf, dataflow-index) arrays for the space."""
+def _grid(
+    platform: Platform,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[AcceleratorConfig]]:
+    """Flattened (rows, cols, rf, dataflow-index) arrays for one platform."""
     rows, cols, rfs, dfs, configs = [], [], [], [], []
-    for r in PE_ROWS_RANGE:
-        for c in PE_COLS_RANGE:
-            for rf in RF_BYTES_OPTIONS:
+    for r in platform.pe_rows_range:
+        for c in platform.pe_cols_range:
+            for rf in platform.rf_bytes_options:
                 for di, df in enumerate(DATAFLOWS):
                     rows.append(r)
                     cols.append(c)
                     rfs.append(rf)
                     dfs.append(di)
-                    configs.append(AcceleratorConfig(r, c, rf, df))
+                    configs.append(AcceleratorConfig(r, c, rf, df, platform=platform.name))
     return (
         np.array(rows, dtype=float),
         np.array(cols, dtype=float),
@@ -112,14 +93,17 @@ def _grid() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Accele
     )
 
 
-_GRID_CACHE = None
+_GRID_CACHE: dict = {}
 
 
-def _grid_cached():
-    global _GRID_CACHE
-    if _GRID_CACHE is None:
-        _GRID_CACHE = _grid()
-    return _GRID_CACHE
+def _grid_cached(platform: Platform):
+    # Keyed on the Platform object itself (not just the name) so a
+    # registry replace of a platform definition invalidates its grid.
+    cached = _GRID_CACHE.get(platform.name)
+    if cached is None or cached[0] is not platform:
+        _GRID_CACHE[platform.name] = (platform, _grid(platform))
+        cached = _GRID_CACHE[platform.name]
+    return cached[1]
 
 
 def _eff(n: float, lanes: np.ndarray) -> np.ndarray:
@@ -139,6 +123,7 @@ def _layer_arrays(
     rf_bytes: np.ndarray,
     df_index: np.ndarray,
     table: EnergyTable,
+    platform: Platform,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(latency_cycles, energy_pj) arrays across the config grid."""
     r = layer.kernel
@@ -147,7 +132,7 @@ def _layer_arrays(
     oh_ow = float(layer.out_size * layer.out_size)
     channels_per_group = layer.in_channels // layer.groups
     depthwise = layer.groups > 1
-    rf_words = rf_bytes / WORD_BYTES
+    rf_words = rf_bytes / platform.word_bytes
     num_pes = rows * cols
 
     is_ws = df_index == 0
@@ -158,7 +143,7 @@ def _layer_arrays(
     # Utilization (mirrors timeloop._utilization)
     # ------------------------------------------------------------------
     if depthwise:
-        ws_util = _eff(layer.out_channels, cols) * WS_DEPTHWISE_PENALTY
+        ws_util = _eff(layer.out_channels, cols) * platform.ws_depthwise_penalty
     else:
         ws_util = _eff(layer.in_channels, rows) * _eff(layer.out_channels, cols)
     os_util = _eff(layer.out_size, rows) * _eff(layer.out_size, cols)
@@ -214,8 +199,8 @@ def _layer_arrays(
     buffer_accesses = buffer_w + buffer_i + buffer_o
 
     rf_accesses = 3.0 * macs
-    working_set_bytes = (volume_w + volume_i + volume_o) * WORD_BYTES
-    refetch = max(1.0, np.sqrt(working_set_bytes / GLOBAL_BUFFER_BYTES))
+    working_set_bytes = (volume_w + volume_i + volume_o) * platform.word_bytes
+    refetch = max(1.0, np.sqrt(working_set_bytes / platform.global_buffer_bytes))
     dram_accesses = (volume_w + volume_i) * refetch + volume_o
 
     avg_hops = (rows + cols) / 8.0
@@ -224,13 +209,15 @@ def _layer_arrays(
     latency_cycles = np.maximum(
         compute_cycles,
         np.maximum(
-            buffer_accesses / BUFFER_WORDS_PER_CYCLE,
-            dram_accesses / DRAM_WORDS_PER_CYCLE,
+            buffer_accesses / platform.buffer_words_per_cycle,
+            dram_accesses / platform.dram_words_per_cycle,
         ),
     )
 
     rf_pj = table.rf_base_pj + table.rf_per_log2_byte_pj * np.log2(rf_bytes)
-    df_factor = np.array([DATAFLOW_ENERGY_FACTOR[df] for df in DATAFLOWS])[df_index]
+    df_factor = np.array(
+        [platform.dataflow_energy_factor[df] for df in DATAFLOWS]
+    )[df_index]
     energy_pj = (
         macs * table.mac_pj
         + rf_accesses * rf_pj
@@ -256,25 +243,43 @@ def evaluate_network_batch(
     arch: NetworkArch,
     configs: Sequence[AcceleratorConfig],
     energy_table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> SpaceEvaluation:
     """Evaluate ``arch`` on an arbitrary batch of configurations.
 
     Used by decode repair (the ~81-config neighbourhood scan) and any
     caller holding a config subset; agrees with ``evaluate_network``
-    to float precision on every entry.
+    to float precision on every entry.  ``platform`` defaults to the
+    batch's own platform (the configs must share one).
     """
+    if platform is None:
+        if not configs:
+            raise ValueError("evaluate_network_batch needs at least one config")
+        platform = configs[0].platform
+    plat = as_platform(platform)
+    mixed = {c.platform for c in configs} - {plat.name}
+    if mixed:
+        raise ValueError(
+            f"config batch mixes platforms {sorted(mixed)} with {plat.name!r}; "
+            f"evaluate one platform per batch"
+        )
     rows, cols, rf_bytes, df_index = _config_arrays(configs)
     return _evaluate_arrays(
-        arch, rows, cols, rf_bytes, df_index, list(configs), energy_table
+        arch, rows, cols, rf_bytes, df_index, list(configs), energy_table, plat
     )
 
 
 def evaluate_network_space(
-    arch: NetworkArch, energy_table: Optional[EnergyTable] = None
+    arch: NetworkArch,
+    energy_table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> SpaceEvaluation:
-    """Evaluate ``arch`` on every accelerator configuration at once."""
-    rows, cols, rf_bytes, df_index, configs = _grid_cached()
-    return _evaluate_arrays(arch, rows, cols, rf_bytes, df_index, configs, energy_table)
+    """Evaluate ``arch`` on a platform's every configuration at once."""
+    plat = as_platform(platform)
+    rows, cols, rf_bytes, df_index, configs = _grid_cached(plat)
+    return _evaluate_arrays(
+        arch, rows, cols, rf_bytes, df_index, configs, energy_table, plat
+    )
 
 
 def _evaluate_arrays(
@@ -285,18 +290,25 @@ def _evaluate_arrays(
     df_index: np.ndarray,
     configs: List[AcceleratorConfig],
     energy_table: Optional[EnergyTable],
+    platform: Platform,
 ) -> SpaceEvaluation:
-    table = energy_table or default_energy_table()
+    table = energy_table or platform.energy_table
     total_cycles = np.zeros_like(rows)
     total_pj = np.zeros_like(rows)
     for layer in arch.conv_layers():
-        cycles, pj = _layer_arrays(layer, rows, cols, rf_bytes, df_index, table)
+        cycles, pj = _layer_arrays(
+            layer, rows, cols, rf_bytes, df_index, table, platform
+        )
         total_cycles += cycles
         total_pj += pj
-    latency_ms = total_cycles / (CLOCK_MHZ * 1e3)
+    latency_ms = total_cycles / (platform.clock_mhz * 1e3)
     energy_mj = total_pj * 1e-9
-    pe_area = rows * cols * (PE_BASE_MM2 + RF_MM2_PER_BYTE * rf_bytes)
-    area = pe_area + GLOBAL_BUFFER_MM2 + NOC_MM2_PER_LANE * (rows + cols)
+    pe_area = rows * cols * (platform.pe_base_mm2 + platform.rf_mm2_per_byte * rf_bytes)
+    area = (
+        pe_area
+        + platform.global_buffer_mm2
+        + platform.noc_mm2_per_lane * (rows + cols)
+    )
     return SpaceEvaluation(
         configs=configs,
         latency_ms=latency_ms,

@@ -1,17 +1,21 @@
 """Accelerator configuration and design space.
 
-A configuration is (PE rows, PE cols, RF bytes per PE, dataflow).  The
-space matches the paper: rows 12..20, cols 8..24, RF 16..256 B in
-powers of two, dataflow in {WS, OS, RS} — 9 x 17 x 5 x 3 = 2295
-designs, which together with ~1e14 networks gives the ~1e17 joint
-space the paper quotes.
+A configuration is (PE rows, PE cols, RF bytes per PE, dataflow), plus
+the name of the hardware platform whose design space it belongs to.
+The default ``"eyeriss"`` platform matches the paper: rows 12..20,
+cols 8..24, RF 16..256 B in powers of two, dataflow in {WS, OS, RS} —
+9 x 17 x 5 x 3 = 2295 designs, which together with ~1e14 networks
+gives the ~1e17 joint space the paper quotes.  Other registered
+platforms (see :mod:`repro.accelerator.platform`) swap in their own
+ranges; the module-level constants below are the eyeriss values and
+stay as the default platform's definition.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List, Sequence
 
 import numpy as np
@@ -27,6 +31,8 @@ class Dataflow(enum.Enum):
 
 DATAFLOWS: Sequence[Dataflow] = (Dataflow.WS, Dataflow.OS, Dataflow.RS)
 
+#: Eyeriss design-space constants — the default platform's definition
+#: (and backwards-compatible aliases for pre-platform callers).
 PE_ROWS_RANGE = tuple(range(12, 21))  # 12..20
 PE_COLS_RANGE = tuple(range(8, 25))  # 8..24
 RF_BYTES_OPTIONS = (16, 32, 64, 128, 256)
@@ -38,22 +44,30 @@ WORD_BYTES = 2
 GLOBAL_BUFFER_BYTES = 108 * 1024
 
 
+def _resolve(platform) -> "object":
+    """Lazy platform resolution (platform.py imports this module)."""
+    from repro.accelerator.platform import as_platform
+
+    return as_platform(platform)
+
+
 @dataclass(frozen=True)
 class AcceleratorConfig:
-    """One point in the accelerator design space."""
+    """One point in a platform's accelerator design space.
+
+    ``platform`` names the design space the dimensions are validated
+    against and the vector encoding is normalized by; it is excluded
+    from equality/hash so configs compare by their physical dimensions.
+    """
 
     pe_rows: int
     pe_cols: int
     rf_bytes: int
     dataflow: Dataflow
+    platform: str = field(default="eyeriss", compare=False, repr=False)
 
     def __post_init__(self) -> None:
-        if not (PE_ROWS_RANGE[0] <= self.pe_rows <= PE_ROWS_RANGE[-1]):
-            raise ValueError(f"pe_rows {self.pe_rows} outside {PE_ROWS_RANGE[0]}..{PE_ROWS_RANGE[-1]}")
-        if not (PE_COLS_RANGE[0] <= self.pe_cols <= PE_COLS_RANGE[-1]):
-            raise ValueError(f"pe_cols {self.pe_cols} outside {PE_COLS_RANGE[0]}..{PE_COLS_RANGE[-1]}")
-        if self.rf_bytes not in RF_BYTES_OPTIONS:
-            raise ValueError(f"rf_bytes {self.rf_bytes} not in {RF_BYTES_OPTIONS}")
+        _resolve(self.platform).validate(self.pe_rows, self.pe_cols, self.rf_bytes)
 
     @property
     def num_pes(self) -> int:
@@ -61,7 +75,7 @@ class AcceleratorConfig:
 
     @property
     def rf_words(self) -> int:
-        return self.rf_bytes // WORD_BYTES
+        return self.rf_bytes // _resolve(self.platform).word_bytes
 
     def __str__(self) -> str:
         return (
@@ -73,27 +87,41 @@ class AcceleratorConfig:
     # Relaxed (continuous) encoding used by the hardware generator
     # ------------------------------------------------------------------
     def to_vector(self) -> np.ndarray:
-        """Encode as a 6-dim vector in [0, 1] (rows, cols, log-RF, df one-hot)."""
-        rows01 = (self.pe_rows - PE_ROWS_RANGE[0]) / (PE_ROWS_RANGE[-1] - PE_ROWS_RANGE[0])
-        cols01 = (self.pe_cols - PE_COLS_RANGE[0]) / (PE_COLS_RANGE[-1] - PE_COLS_RANGE[0])
-        rf_steps = len(RF_BYTES_OPTIONS) - 1
-        rf01 = RF_BYTES_OPTIONS.index(self.rf_bytes) / rf_steps
+        """Encode as a 6-dim vector in [0, 1] (rows, cols, log-RF, df one-hot).
+
+        Normalization spans this config's platform ranges, so the same
+        vector decodes to different physical designs on different
+        platforms — by construction, since the generator's output
+        bounds are the unit cube regardless of target.
+        """
+        plat = _resolve(self.platform)
+        rows_range, cols_range = plat.pe_rows_range, plat.pe_cols_range
+        rf_options = plat.rf_bytes_options
+        rows01 = (self.pe_rows - rows_range[0]) / (rows_range[-1] - rows_range[0])
+        cols01 = (self.pe_cols - cols_range[0]) / (cols_range[-1] - cols_range[0])
+        rf_steps = len(rf_options) - 1
+        rf01 = rf_options.index(self.rf_bytes) / rf_steps
         onehot = np.zeros(len(DATAFLOWS))
         onehot[DATAFLOWS.index(self.dataflow)] = 1.0
         return np.concatenate([[rows01, cols01, rf01], onehot])
 
     @staticmethod
-    def from_vector(vec: np.ndarray) -> "AcceleratorConfig":
-        """Decode (snap) a relaxed vector back to the nearest design."""
+    def from_vector(vec: np.ndarray, platform=None) -> "AcceleratorConfig":
+        """Decode (snap) a relaxed vector back to the platform's nearest design."""
+        plat = _resolve(platform)
+        rows_range, cols_range = plat.pe_rows_range, plat.pe_cols_range
+        rf_options = plat.rf_bytes_options
         vec = np.asarray(vec, dtype=float)
         if vec.shape != (6,):
             raise ValueError(f"expected 6-dim vector, got shape {vec.shape}")
         rows01, cols01, rf01 = np.clip(vec[:3], 0.0, 1.0)
-        rows = int(round(PE_ROWS_RANGE[0] + rows01 * (PE_ROWS_RANGE[-1] - PE_ROWS_RANGE[0])))
-        cols = int(round(PE_COLS_RANGE[0] + cols01 * (PE_COLS_RANGE[-1] - PE_COLS_RANGE[0])))
-        rf_idx = int(round(rf01 * (len(RF_BYTES_OPTIONS) - 1)))
+        rows = int(round(rows_range[0] + rows01 * (rows_range[-1] - rows_range[0])))
+        cols = int(round(cols_range[0] + cols01 * (cols_range[-1] - cols_range[0])))
+        rf_idx = int(round(rf01 * (len(rf_options) - 1)))
         dataflow = DATAFLOWS[int(np.argmax(vec[3:]))]
-        return AcceleratorConfig(rows, cols, RF_BYTES_OPTIONS[rf_idx], dataflow)
+        return AcceleratorConfig(
+            rows, cols, rf_options[rf_idx], dataflow, platform=plat.name
+        )
 
     @staticmethod
     def vector_dim() -> int:
@@ -101,13 +129,15 @@ class AcceleratorConfig:
 
 
 class DesignSpace:
-    """Enumeration and sampling over all accelerator configurations."""
+    """Enumeration and sampling over one platform's configurations."""
 
-    def __init__(self) -> None:
-        self.rows = PE_ROWS_RANGE
-        self.cols = PE_COLS_RANGE
-        self.rf_options = RF_BYTES_OPTIONS
-        self.dataflows = DATAFLOWS
+    def __init__(self, platform=None) -> None:
+        plat = _resolve(platform)
+        self.platform = plat
+        self.rows = plat.pe_rows_range
+        self.cols = plat.pe_cols_range
+        self.rf_options = plat.rf_bytes_options
+        self.dataflows = plat.dataflows
 
     def __len__(self) -> int:
         return len(self.rows) * len(self.cols) * len(self.rf_options) * len(self.dataflows)
@@ -116,7 +146,7 @@ class DesignSpace:
         for rows, cols, rf, df in itertools.product(
             self.rows, self.cols, self.rf_options, self.dataflows
         ):
-            yield AcceleratorConfig(rows, cols, rf, df)
+            yield AcceleratorConfig(rows, cols, rf, df, platform=self.platform.name)
 
     def sample(self, rng: np.random.Generator) -> AcceleratorConfig:
         return AcceleratorConfig(
@@ -124,6 +154,7 @@ class DesignSpace:
             pe_cols=int(rng.choice(self.cols)),
             rf_bytes=int(rng.choice(self.rf_options)),
             dataflow=self.dataflows[int(rng.integers(len(self.dataflows)))],
+            platform=self.platform.name,
         )
 
     def sample_many(self, n: int, rng: np.random.Generator) -> List[AcceleratorConfig]:

@@ -21,7 +21,8 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.accelerator.area import area_mm2
 from repro.accelerator.config import AcceleratorConfig, DesignSpace
 from repro.accelerator.energy import EnergyTable, default_energy_table
-from repro.accelerator.timeloop import CLOCK_MHZ, DATAFLOW_ENERGY_FACTOR, map_layer
+from repro.accelerator.platform import Platform, as_platform
+from repro.accelerator.timeloop import map_layer
 from repro.arch.network import ConvLayerDesc, NetworkArch
 
 #: Eq. 10 weights from the paper (Sec. 5.3).
@@ -61,17 +62,24 @@ def evaluate_layer(
     layer: ConvLayerDesc,
     config: AcceleratorConfig,
     energy_table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> Tuple[float, float]:
-    """Return (latency_ms, energy_mj) of one convolution layer."""
-    table = energy_table or default_energy_table()
-    mapping = map_layer(layer, config)
+    """Return (latency_ms, energy_mj) of one convolution layer.
+
+    ``platform`` defaults to the config's own platform and supplies the
+    analytical-model constants and (absent ``energy_table``) the
+    per-action energies.
+    """
+    plat = as_platform(platform if platform is not None else config.platform)
+    table = energy_table or plat.energy_table
+    mapping = map_layer(layer, config, plat)
     energy_pj = (
         layer.macs * table.mac_pj
         + mapping.rf_accesses * table.rf_access_pj(config.rf_bytes)
         + mapping.buffer_accesses * table.buffer_pj
         + mapping.dram_accesses * table.dram_pj
         + mapping.noc_hops * table.noc_hop_pj
-    ) * DATAFLOW_ENERGY_FACTOR[config.dataflow]
+    ) * plat.dataflow_energy_factor[config.dataflow]
     return mapping.latency_ms, energy_pj * 1e-9  # pJ -> mJ
 
 
@@ -79,16 +87,18 @@ def evaluate_network(
     arch: NetworkArch,
     config: AcceleratorConfig,
     energy_table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> HardwareMetrics:
     """Evaluate a full network: sum latency/energy over layers, plus area."""
-    table = energy_table or default_energy_table()
+    plat = as_platform(platform if platform is not None else config.platform)
+    table = energy_table or plat.energy_table
     latency = 0.0
     energy = 0.0
     for layer in arch.conv_layers():
-        lat, en = evaluate_layer(layer, config, table)
+        lat, en = evaluate_layer(layer, config, table, plat)
         latency += lat
         energy += en
-    return HardwareMetrics(latency, energy, area_mm2(config))
+    return HardwareMetrics(latency, energy, area_mm2(config, plat))
 
 
 def cost_hw(metrics: HardwareMetrics, weights: Optional[Dict[str, float]] = None) -> float:
@@ -117,8 +127,9 @@ def exhaustive_search(
     constraints: Optional[Dict[str, float]] = None,
     energy_table: Optional[EnergyTable] = None,
     space: Optional[Iterable[AcceleratorConfig]] = None,
+    platform: Optional[Platform] = None,
 ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
-    """Brute-force the accelerator space for a fixed network.
+    """Brute-force one platform's accelerator space for a fixed network.
 
     This is the "HW search" half of the NAS->HW baseline: the paper
     runs Timeloop exhaustively after a plain NAS.  ``constraints`` maps
@@ -126,14 +137,15 @@ def exhaustive_search(
     if nothing is feasible, the lowest-objective design is returned).
 
     When searching the full space (``space is None``) the vectorized
-    evaluator computes all 2295 designs at once (~50x faster); the
-    objective/constraint semantics are identical.
+    evaluator computes the whole design space at once (~50x faster);
+    the objective/constraint semantics are identical.
     """
-    table = energy_table or default_energy_table()
+    plat = as_platform(platform)
+    table = energy_table or plat.energy_table
     if space is None:
         from repro.accelerator.batch import evaluate_network_space
 
-        evaluation = evaluate_network_space(arch, table)
+        evaluation = evaluate_network_space(arch, table, plat)
         candidates = (
             (
                 config,
@@ -146,7 +158,13 @@ def exhaustive_search(
             for i, config in enumerate(evaluation.configs)
         )
     else:
-        candidates = ((config, evaluate_network(arch, config, table)) for config in space)
+        # Explicit config subsets resolve per config: each one knows its
+        # platform, and the table falls back to that platform's unless
+        # the caller pinned one.
+        candidates = (
+            (config, evaluate_network(arch, config, energy_table, platform))
+            for config in space
+        )
 
     best: Optional[Tuple[float, AcceleratorConfig, HardwareMetrics]] = None
     fallback: Optional[Tuple[float, AcceleratorConfig, HardwareMetrics]] = None

@@ -1,0 +1,343 @@
+"""Hardware-platform abstraction and registry.
+
+The seed reproduction hard-coded one Eyeriss-style target: the PE-array
+ranges, RF options, 108 KiB global buffer, word width, clock, memory
+bandwidths, per-action energy table, and area constants all lived as
+module-level constants, and every layer above silently assumed them.
+A :class:`Platform` bundles those knobs into one explicit object, so
+co-exploration becomes an engine parameterized by a hardware target
+instead of a single-target script.
+
+A platform owns
+
+* its **design space** — PE row/column ranges, RF sizes, dataflows —
+  from which :class:`~repro.accelerator.config.DesignSpace` enumerates
+  and the relaxed 6-dim vector encoding snaps;
+* its **technology model** — word width, buffer capacity, clock,
+  bandwidths, per-action :class:`~repro.accelerator.energy.EnergyTable`,
+  area constants, and dataflow-level behaviour factors;
+* its **paired evaluators** — :meth:`Platform.evaluate_network`
+  (scalar oracle) and :meth:`Platform.evaluate_network_batch` /
+  :meth:`Platform.evaluate_network_space` (vectorized) delegate to
+  :mod:`repro.accelerator.cost` and :mod:`repro.accelerator.batch`
+  with this platform's constants, and the bit-level mirror contract
+  between those two implementations (see DESIGN.md) holds **per
+  platform**: ``tests/test_platforms.py`` pins scalar↔batched parity
+  for every registered platform, not just the default.
+
+The default ``"eyeriss"`` platform is built from the legacy module
+constants, so it reproduces the seed's numbers bitwise; ``"edge"`` and
+``"tpu-like"`` are the first additional targets.
+
+Design-space restrictions shared by all platforms (enforced in
+``Platform.__post_init__``): PE row/column ranges are contiguous
+integer ranges and exactly the three dataflows are searchable, because
+the relaxed accelerator encoding — three sigmoid size slots plus a
+three-way dataflow softmax — and the generator/estimator input widths
+are shared across platforms.  What differs per platform is *which*
+values those slots decode to and what the analytical model makes of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.accelerator import area as _area
+from repro.accelerator import timeloop as _timeloop
+from repro.accelerator.config import (
+    DATAFLOWS,
+    Dataflow,
+    GLOBAL_BUFFER_BYTES,
+    PE_COLS_RANGE,
+    PE_ROWS_RANGE,
+    RF_BYTES_OPTIONS,
+    WORD_BYTES,
+)
+from repro.accelerator.energy import EnergyTable, default_energy_table
+
+#: Name resolved when callers pass ``platform=None``.
+DEFAULT_PLATFORM = "eyeriss"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One hardware target: design space + technology + cost models."""
+
+    name: str
+    # --- Design space -------------------------------------------------
+    pe_rows_range: Tuple[int, ...]
+    pe_cols_range: Tuple[int, ...]
+    rf_bytes_options: Tuple[int, ...]
+    # --- Technology / memory system -----------------------------------
+    word_bytes: int
+    global_buffer_bytes: int
+    clock_mhz: float
+    buffer_words_per_cycle: float
+    dram_words_per_cycle: float
+    # --- Dataflow behaviour -------------------------------------------
+    ws_depthwise_penalty: float
+    dataflow_energy_factor: Mapping[Dataflow, float]
+    # --- Energy / area models -----------------------------------------
+    energy_table: EnergyTable
+    pe_base_mm2: float
+    rf_mm2_per_byte: float
+    global_buffer_mm2: float
+    noc_mm2_per_lane: float
+    dataflows: Tuple[Dataflow, ...] = DATAFLOWS
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for label, rng in (
+            ("pe_rows_range", self.pe_rows_range),
+            ("pe_cols_range", self.pe_cols_range),
+        ):
+            if len(rng) < 2 or tuple(rng) != tuple(range(rng[0], rng[-1] + 1)):
+                raise ValueError(
+                    f"{label} must be a contiguous integer range with >= 2 "
+                    f"values (the relaxed encoding snaps by rounding), got {rng}"
+                )
+        if len(self.rf_bytes_options) < 2 or list(self.rf_bytes_options) != sorted(
+            set(self.rf_bytes_options)
+        ):
+            raise ValueError(
+                f"rf_bytes_options must be >= 2 strictly increasing values, "
+                f"got {self.rf_bytes_options}"
+            )
+        if tuple(self.dataflows) != tuple(DATAFLOWS):
+            raise ValueError(
+                "every platform searches the three canonical dataflows; the "
+                "6-dim relaxed encoding hard-codes three dataflow slots"
+            )
+        missing = [df for df in self.dataflows if df not in self.dataflow_energy_factor]
+        if missing:
+            raise ValueError(f"dataflow_energy_factor missing entries for {missing}")
+
+    # ------------------------------------------------------------------
+    # Design-space helpers
+    # ------------------------------------------------------------------
+    def design_space(self):
+        """Enumeration/sampling over this platform's configurations."""
+        from repro.accelerator.config import DesignSpace
+
+        return DesignSpace(self)
+
+    def contains(self, pe_rows: int, pe_cols: int, rf_bytes: int) -> bool:
+        return (
+            self.pe_rows_range[0] <= pe_rows <= self.pe_rows_range[-1]
+            and self.pe_cols_range[0] <= pe_cols <= self.pe_cols_range[-1]
+            and rf_bytes in self.rf_bytes_options
+        )
+
+    def validate(self, pe_rows: int, pe_cols: int, rf_bytes: int) -> None:
+        """Raise ``ValueError`` when the dimensions fall outside the space."""
+        rows, cols = self.pe_rows_range, self.pe_cols_range
+        if not (rows[0] <= pe_rows <= rows[-1]):
+            raise ValueError(
+                f"pe_rows {pe_rows} outside {rows[0]}..{rows[-1]} "
+                f"(platform {self.name!r})"
+            )
+        if not (cols[0] <= pe_cols <= cols[-1]):
+            raise ValueError(
+                f"pe_cols {pe_cols} outside {cols[0]}..{cols[-1]} "
+                f"(platform {self.name!r})"
+            )
+        if rf_bytes not in self.rf_bytes_options:
+            raise ValueError(
+                f"rf_bytes {rf_bytes} not in {self.rf_bytes_options} "
+                f"(platform {self.name!r})"
+            )
+
+    def config(self, pe_rows: int, pe_cols: int, rf_bytes: int, dataflow: Dataflow):
+        """Construct an :class:`AcceleratorConfig` bound to this platform."""
+        from repro.accelerator.config import AcceleratorConfig
+
+        return AcceleratorConfig(pe_rows, pe_cols, rf_bytes, dataflow, platform=self.name)
+
+    def config_from_vector(self, vec):
+        """Snap a relaxed 6-dim vector to this platform's nearest design."""
+        from repro.accelerator.config import AcceleratorConfig
+
+        return AcceleratorConfig.from_vector(vec, platform=self)
+
+    # ------------------------------------------------------------------
+    # Paired evaluators (the per-platform scalar/vectorized contract)
+    # ------------------------------------------------------------------
+    def evaluate_network(self, arch, config, energy_table: Optional[EnergyTable] = None):
+        """Scalar oracle for one network on one configuration."""
+        from repro.accelerator.cost import evaluate_network
+
+        return evaluate_network(arch, config, energy_table, platform=self)
+
+    def evaluate_network_batch(
+        self, arch, configs, energy_table: Optional[EnergyTable] = None
+    ):
+        """Vectorized twin of :meth:`evaluate_network` over a config batch."""
+        from repro.accelerator.batch import evaluate_network_batch
+
+        return evaluate_network_batch(arch, configs, energy_table, platform=self)
+
+    def evaluate_network_space(self, arch, energy_table: Optional[EnergyTable] = None):
+        """Vectorized evaluation over this platform's full design space."""
+        from repro.accelerator.batch import evaluate_network_space
+
+        return evaluate_network_space(arch, energy_table, platform=self)
+
+    def __str__(self) -> str:
+        rows, cols = self.pe_rows_range, self.pe_cols_range
+        return (
+            f"{self.name}: PEs {rows[0]}x{cols[0]}..{rows[-1]}x{cols[-1]}, "
+            f"RF {self.rf_bytes_options[0]}-{self.rf_bytes_options[-1]}B, "
+            f"buffer {self.global_buffer_bytes // 1024} KiB @ {self.clock_mhz:g} MHz"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Platform] = {}
+
+
+def register_platform(platform: Platform, replace: bool = False) -> Platform:
+    """Add a platform to the registry; duplicate names raise."""
+    if platform.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"platform {platform.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[platform.name] = platform
+    return platform
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a registered platform (test hygiene; no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_platform(name: str) -> Platform:
+    """Look a platform up by name; unknown names raise with the options."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; registered: {available_platforms()}"
+        ) from None
+
+
+def available_platforms() -> List[str]:
+    """Sorted names of all registered platforms."""
+    return sorted(_REGISTRY)
+
+
+def as_platform(platform: Union[Platform, str, None]) -> Platform:
+    """Resolve ``None`` (default), a name, or a Platform to a Platform."""
+    if platform is None:
+        return get_platform(DEFAULT_PLATFORM)
+    if isinstance(platform, Platform):
+        return platform
+    return get_platform(platform)
+
+
+# ----------------------------------------------------------------------
+# Built-in platforms
+# ----------------------------------------------------------------------
+#: The seed's Eyeriss-style target, built from the legacy module
+#: constants so the refactor is bitwise-neutral: same ranges, same
+#: memoized energy table, same analytical-model constants.
+EYERISS = register_platform(
+    Platform(
+        name="eyeriss",
+        pe_rows_range=PE_ROWS_RANGE,
+        pe_cols_range=PE_COLS_RANGE,
+        rf_bytes_options=RF_BYTES_OPTIONS,
+        word_bytes=WORD_BYTES,
+        global_buffer_bytes=GLOBAL_BUFFER_BYTES,
+        clock_mhz=_timeloop.CLOCK_MHZ,
+        buffer_words_per_cycle=_timeloop.BUFFER_WORDS_PER_CYCLE,
+        dram_words_per_cycle=_timeloop.DRAM_WORDS_PER_CYCLE,
+        ws_depthwise_penalty=_timeloop.WS_DEPTHWISE_PENALTY,
+        dataflow_energy_factor=dict(_timeloop.DATAFLOW_ENERGY_FACTOR),
+        energy_table=default_energy_table(),
+        pe_base_mm2=_area.PE_BASE_MM2,
+        rf_mm2_per_byte=_area.RF_MM2_PER_BYTE,
+        global_buffer_mm2=_area.GLOBAL_BUFFER_MM2,
+        noc_mm2_per_lane=_area.NOC_MM2_PER_LANE,
+        description="Eyeriss-class edge accelerator (the paper's target)",
+    )
+)
+
+#: A tighter always-on/IoT variant: quarter-size PE array, 32 KiB
+#: buffer, slower clock and memory system, low-leakage process whose
+#: SRAM is cheap but whose LPDDR access is comparatively expensive.
+EDGE = register_platform(
+    Platform(
+        name="edge",
+        pe_rows_range=tuple(range(4, 13)),  # 4..12
+        pe_cols_range=tuple(range(4, 17)),  # 4..16
+        rf_bytes_options=(8, 16, 32, 64),
+        word_bytes=2,
+        global_buffer_bytes=32 * 1024,
+        clock_mhz=100.0,
+        buffer_words_per_cycle=16.0,
+        dram_words_per_cycle=4.0,
+        ws_depthwise_penalty=0.25,
+        dataflow_energy_factor={
+            Dataflow.WS: 1.10,
+            Dataflow.OS: 1.00,
+            Dataflow.RS: 0.80,
+        },
+        energy_table=EnergyTable(
+            mac_pj=1.6,
+            rf_base_pj=1.5,
+            rf_per_log2_byte_pj=0.22,
+            noc_hop_pj=3.2,
+            buffer_pj=10.0,
+            dram_pj=520.0,
+        ),
+        pe_base_mm2=0.0012,
+        rf_mm2_per_byte=4.0e-6,
+        global_buffer_mm2=0.45,
+        noc_mm2_per_lane=0.0016,
+        description="Always-on IoT accelerator: small array, tight buffers",
+    )
+)
+
+#: A TPU-flavoured weight-stationary systolic target: large int8 PE
+#: array, megabyte-class unified buffer, wide memory interfaces.  The
+#: dataflow energy factors reflect a fabric laid out for WS (operand
+#: broadcast is wired, not multicast), while RS pays for fighting the
+#: systolic structure; the WS depthwise collapse is structural and
+#: stays (it is the paper's motivating MobileNet-on-TPU example).
+TPU_LIKE = register_platform(
+    Platform(
+        name="tpu-like",
+        pe_rows_range=tuple(range(24, 41)),  # 24..40
+        pe_cols_range=tuple(range(24, 41)),  # 24..40
+        rf_bytes_options=(32, 64, 128, 256, 512),
+        word_bytes=1,  # int8 inference datapath
+        global_buffer_bytes=1024 * 1024,
+        clock_mhz=700.0,
+        buffer_words_per_cycle=128.0,
+        dram_words_per_cycle=32.0,
+        ws_depthwise_penalty=0.25,
+        dataflow_energy_factor={
+            Dataflow.WS: 0.88,
+            Dataflow.OS: 1.05,
+            Dataflow.RS: 1.18,
+        },
+        energy_table=EnergyTable(
+            mac_pj=0.55,
+            rf_base_pj=0.9,
+            rf_per_log2_byte_pj=0.18,
+            noc_hop_pj=2.4,
+            buffer_pj=7.5,
+            dram_pj=320.0,
+        ),
+        pe_base_mm2=0.0009,
+        rf_mm2_per_byte=2.5e-6,
+        global_buffer_mm2=4.2,
+        noc_mm2_per_lane=0.0028,
+        description="Weight-stationary systolic datacenter-edge target",
+    )
+)

@@ -14,13 +14,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.accelerator.config import AcceleratorConfig
-from repro.accelerator.energy import EnergyTable, default_energy_table
-from repro.accelerator.timeloop import (
-    BUFFER_WORDS_PER_CYCLE,
-    DATAFLOW_ENERGY_FACTOR,
-    DRAM_WORDS_PER_CYCLE,
-    map_layer,
-)
+from repro.accelerator.energy import EnergyTable
+from repro.accelerator.platform import Platform, as_platform
+from repro.accelerator.timeloop import map_layer
 from repro.arch.network import ConvLayerDesc, NetworkArch
 
 
@@ -110,17 +106,19 @@ def report_layer(
     layer: ConvLayerDesc,
     config: AcceleratorConfig,
     table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> LayerReport:
     """Diagnose one layer's mapping (bottleneck + energy decomposition)."""
-    table = table or default_energy_table()
-    mapping = map_layer(layer, config)
+    plat = as_platform(platform if platform is not None else config.platform)
+    table = table or plat.energy_table
+    mapping = map_layer(layer, config, plat)
     cycles = {
         "compute": mapping.compute_cycles,
-        "buffer": mapping.buffer_accesses / BUFFER_WORDS_PER_CYCLE,
-        "dram": mapping.dram_accesses / DRAM_WORDS_PER_CYCLE,
+        "buffer": mapping.buffer_accesses / plat.buffer_words_per_cycle,
+        "dram": mapping.dram_accesses / plat.dram_words_per_cycle,
     }
     bottleneck = max(cycles, key=cycles.get)
-    factor = DATAFLOW_ENERGY_FACTOR[config.dataflow] * 1e-9  # pJ -> mJ
+    factor = plat.dataflow_energy_factor[config.dataflow] * 1e-9  # pJ -> mJ
     breakdown = {
         "mac": layer.macs * table.mac_pj * factor,
         "rf": mapping.rf_accesses * table.rf_access_pj(config.rf_bytes) * factor,
@@ -142,10 +140,14 @@ def report_network(
     arch: NetworkArch,
     config: AcceleratorConfig,
     table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
 ) -> NetworkReport:
     """Full per-layer report for a network/accelerator pair."""
-    table = table or default_energy_table()
+    plat = as_platform(platform if platform is not None else config.platform)
+    table = table or plat.energy_table
     return NetworkReport(
         config=config,
-        layers=[report_layer(layer, config, table) for layer in arch.conv_layers()],
+        layers=[
+            report_layer(layer, config, table, plat) for layer in arch.conv_layers()
+        ],
     )

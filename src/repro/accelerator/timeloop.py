@@ -16,6 +16,12 @@ The model captures the first-order effects that drive co-exploration:
   and buffer/DRAM streaming cycles.
 
 Accesses are word-granular; energies are applied by the cost layer.
+
+Every platform-dependent constant (clock, bandwidths, buffer size,
+word width, WS depthwise penalty, dataflow energy factors) comes from
+the active :class:`~repro.accelerator.platform.Platform`; the module
+constants below are the eyeriss values, kept as the default platform's
+definition and for pre-platform callers.
 """
 
 from __future__ import annotations
@@ -24,12 +30,7 @@ import math
 from builtins import max as builtins_max
 from dataclasses import dataclass
 
-from repro.accelerator.config import (
-    AcceleratorConfig,
-    Dataflow,
-    GLOBAL_BUFFER_BYTES,
-    WORD_BYTES,
-)
+from repro.accelerator.config import AcceleratorConfig, Dataflow
 from repro.arch.network import ConvLayerDesc
 
 #: PE clock in MHz (Eyeriss-class edge accelerator).
@@ -64,10 +65,11 @@ class LayerMapping:
     dram_accesses: float
     noc_hops: float
     latency_cycles: float
+    clock_mhz: float = CLOCK_MHZ
 
     @property
     def latency_ms(self) -> float:
-        return self.latency_cycles / (CLOCK_MHZ * 1e3)
+        return self.latency_cycles / (self.clock_mhz * 1e3)
 
 
 def _eff(n: int, lanes: int) -> float:
@@ -84,7 +86,7 @@ def _pe_set_eff(r: int, lanes: int) -> float:
     return (lanes // r) * r / lanes
 
 
-def _reuse_factors(layer: ConvLayerDesc, config: AcceleratorConfig):
+def _reuse_factors(layer: ConvLayerDesc, config: AcceleratorConfig, rf_words: int):
     """Per-operand effective reuse between buffer and PEs (W, I, O).
 
     Each factor is ``temporal_rf_reuse x spatial_multicast_reuse``: one
@@ -94,7 +96,6 @@ def _reuse_factors(layer: ConvLayerDesc, config: AcceleratorConfig):
     """
     r = layer.kernel
     rs = r * r
-    rf_words = config.rf_words
     oh_ow = layer.out_size * layer.out_size
     rows, cols = config.pe_rows, config.pe_cols
     df = config.dataflow
@@ -138,7 +139,9 @@ def _reuse_factors(layer: ConvLayerDesc, config: AcceleratorConfig):
     return reuse_w, reuse_i, reuse_o
 
 
-def _utilization(layer: ConvLayerDesc, config: AcceleratorConfig) -> float:
+def _utilization(
+    layer: ConvLayerDesc, config: AcceleratorConfig, ws_depthwise_penalty: float
+) -> float:
     """Fraction of PEs doing useful work for this layer."""
     rows, cols = config.pe_rows, config.pe_cols
     df = config.dataflow
@@ -148,7 +151,7 @@ def _utilization(layer: ConvLayerDesc, config: AcceleratorConfig) -> float:
         if depthwise:
             # Single input channel per group: the reduction dimension the
             # systolic array needs collapses to 1.
-            util = _eff(layer.out_channels, cols) * WS_DEPTHWISE_PENALTY
+            util = _eff(layer.out_channels, cols) * ws_depthwise_penalty
         else:
             util = _eff(layer.in_channels, rows) * _eff(layer.out_channels, cols)
     elif df is Dataflow.OS:
@@ -162,13 +165,24 @@ def _utilization(layer: ConvLayerDesc, config: AcceleratorConfig) -> float:
     return max(util, 1e-3)
 
 
-def map_layer(layer: ConvLayerDesc, config: AcceleratorConfig) -> LayerMapping:
-    """Map one convolution onto the accelerator, Timeloop-style."""
+def map_layer(
+    layer: ConvLayerDesc, config: AcceleratorConfig, platform=None
+) -> LayerMapping:
+    """Map one convolution onto the accelerator, Timeloop-style.
+
+    ``platform`` (a name, a Platform, or None) defaults to the config's
+    own platform; its clock/bandwidth/buffer constants drive the model.
+    """
+    from repro.accelerator.platform import as_platform
+
+    plat = as_platform(platform if platform is not None else config.platform)
     macs = float(layer.macs)
-    util = _utilization(layer, config)
+    util = _utilization(layer, config, plat.ws_depthwise_penalty)
     compute_cycles = macs / (config.num_pes * util)
 
-    reuse_w, reuse_i, reuse_o = _reuse_factors(layer, config)
+    reuse_w, reuse_i, reuse_o = _reuse_factors(
+        layer, config, config.rf_bytes // plat.word_bytes
+    )
     w_refs, i_refs, o_refs = macs, macs, 2.0 * macs
 
     volume_w = float(layer.weight_count)
@@ -187,8 +201,8 @@ def map_layer(layer: ConvLayerDesc, config: AcceleratorConfig) -> LayerMapping:
     # layer's working set exceeds the global buffer.  Square-root growth
     # models the halo overhead of a competent tiling rather than naive
     # full refetch.
-    working_set_bytes = (volume_w + volume_i + volume_o) * WORD_BYTES
-    refetch = max(1.0, math.sqrt(working_set_bytes / GLOBAL_BUFFER_BYTES))
+    working_set_bytes = (volume_w + volume_i + volume_o) * plat.word_bytes
+    refetch = max(1.0, math.sqrt(working_set_bytes / plat.global_buffer_bytes))
     dram_accesses = (volume_w + volume_i) * refetch + volume_o
 
     # Each buffer access traverses the NoC; average hop count scales with
@@ -198,8 +212,8 @@ def map_layer(layer: ConvLayerDesc, config: AcceleratorConfig) -> LayerMapping:
 
     latency_cycles = max(
         compute_cycles,
-        buffer_accesses / BUFFER_WORDS_PER_CYCLE,
-        dram_accesses / DRAM_WORDS_PER_CYCLE,
+        buffer_accesses / plat.buffer_words_per_cycle,
+        dram_accesses / plat.dram_words_per_cycle,
     )
 
     return LayerMapping(
@@ -210,4 +224,5 @@ def map_layer(layer: ConvLayerDesc, config: AcceleratorConfig) -> LayerMapping:
         dram_accesses=dram_accesses,
         noc_hops=noc_hops,
         latency_cycles=latency_cycles,
+        clock_mhz=plat.clock_mhz,
     )

@@ -140,7 +140,10 @@ def finalize_nas_then_hw(
     """
     bounds = {c.metric: c.bound for c in (constraints or ConstraintSet())}
     hw_config, metrics = exhaustive_search(
-        result.arch, objective=cost_hw, constraints=bounds or None
+        result.arch,
+        objective=cost_hw,
+        constraints=bounds or None,
+        platform=result.platform,
     )
     return SearchResult(
         arch=result.arch,
@@ -153,6 +156,7 @@ def finalize_nas_then_hw(
         in_constraint=(constraints or ConstraintSet()).all_satisfied(metrics),
         history=result.history,
         method="NAS->HW",
+        platform=result.platform,
     )
 
 

@@ -2,16 +2,18 @@
 
 Subcommands::
 
-    python -m repro search     --space cifar10 --latency 16.6 [...]
-    python -m repro evaluate   --result out.json
+    python -m repro search     --space cifar10 --latency 16.6 [--platform edge] [...]
+    python -m repro evaluate   --result out.json [--platform tpu-like]
     python -m repro report     --result out.json
-    python -m repro hwsearch   --space cifar10 --indices 0,1,2,...
+    python -m repro hwsearch   --space cifar10 --indices 0,1,2,... [--platform edge]
     python -m repro experiment --name fig1|table1|fig3|table2|fig4|table3|fig5
 
 ``search`` runs an HDX (or baseline) co-exploration and writes the
 result JSON; ``evaluate``/``report`` re-check a saved result against
 the analytical ground truth; ``experiment`` regenerates a paper
-table/figure.
+table/figure.  ``--platform`` selects a registered hardware target
+(default ``eyeriss``); ``evaluate``/``report`` default to the
+platform stored in the result JSON.
 """
 
 from __future__ import annotations
@@ -20,7 +22,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.accelerator import cost_hw, evaluate_network, exhaustive_search
+from repro.accelerator import (
+    available_platforms,
+    cost_hw,
+    evaluate_network,
+    exhaustive_search,
+)
 from repro.arch import NetworkArch
 from repro.core import ConstraintSet
 from repro.baselines import run_autonba, run_dance, run_dance_soft, run_hdx
@@ -45,6 +52,16 @@ def _add_constraint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--area", type=float, help="area bound in mm2")
 
 
+def _add_platform_arg(parser: argparse.ArgumentParser, default: Optional[str]) -> None:
+    parser.add_argument(
+        "--platform",
+        choices=available_platforms(),
+        default=default,
+        help="registered hardware platform"
+        + ("" if default else " (default: the result's stored platform)"),
+    )
+
+
 def _constraints_from(args) -> ConstraintSet:
     bounds = {}
     for metric in ("latency", "energy", "area"):
@@ -58,7 +75,7 @@ def cmd_search(args) -> int:
     from repro.experiments.common import get_estimator, get_space
 
     space = get_space(args.space)
-    estimator = get_estimator(args.space)
+    estimator = get_estimator(args.space, platform=args.platform)
     constraints = _constraints_from(args)
     if args.method == "hdx":
         if not constraints:
@@ -66,22 +83,22 @@ def cmd_search(args) -> int:
             return 2
         result = run_hdx(
             space, estimator, constraints, lambda_cost=args.lambda_cost,
-            seed=args.seed, epochs=args.epochs,
+            seed=args.seed, epochs=args.epochs, platform=args.platform,
         )
     elif args.method == "dance":
         result = run_dance(
             space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
-            constraints=constraints, epochs=args.epochs,
+            constraints=constraints, epochs=args.epochs, platform=args.platform,
         )
     elif args.method == "dance-soft":
         result = run_dance_soft(
             space, estimator, constraints, lambda_cost=args.lambda_cost,
-            seed=args.seed, epochs=args.epochs,
+            seed=args.seed, epochs=args.epochs, platform=args.platform,
         )
     else:
         result = run_autonba(
             space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
-            constraints=constraints, epochs=args.epochs,
+            constraints=constraints, epochs=args.epochs, platform=args.platform,
         )
     print(result.summary())
     if args.output:
@@ -92,7 +109,9 @@ def cmd_search(args) -> int:
 
 def cmd_evaluate(args) -> int:
     result = load_result(args.result)
-    truth = evaluate_network(result.arch, result.config)
+    platform = args.platform or result.platform
+    truth = evaluate_network(result.arch, result.config, platform=platform)
+    print(f"platform: {platform}")
     print(f"stored : {result.metrics}")
     print(f"oracle : {truth}")
     print(f"cost_hw: {cost_hw(truth):.2f}")
@@ -107,7 +126,8 @@ def cmd_report(args) -> int:
     from repro.accelerator.report import report_network
 
     result = load_result(args.result)
-    print(report_network(result.arch, result.config).render())
+    platform = args.platform or result.platform
+    print(report_network(result.arch, result.config, platform=platform).render())
     return 0
 
 
@@ -117,8 +137,10 @@ def cmd_hwsearch(args) -> int:
     arch = arch_from_dict({"space": args.space, "indices": indices}, space)
     constraints = _constraints_from(args)
     bounds = {c.metric: c.bound for c in constraints}
-    config, metrics = exhaustive_search(arch, constraints=bounds or None)
-    print(f"best config: {config}")
+    config, metrics = exhaustive_search(
+        arch, constraints=bounds or None, platform=args.platform
+    )
+    print(f"best config: {config} [{args.platform}]")
     print(f"metrics    : {metrics} (cost_hw {cost_hw(metrics):.2f})")
     return 0
 
@@ -154,20 +176,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=150)
     p.add_argument("--output", help="write result JSON here")
     _add_constraint_args(p)
+    _add_platform_arg(p, default="eyeriss")
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("evaluate", help="re-check a saved result")
     p.add_argument("--result", required=True)
+    _add_platform_arg(p, default=None)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("report", help="per-layer mapping report of a saved result")
     p.add_argument("--result", required=True)
+    _add_platform_arg(p, default=None)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("hwsearch", help="exhaustive accelerator search for a fixed network")
     p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
     p.add_argument("--indices", required=True, help="comma-separated choice indices")
     _add_constraint_args(p)
+    _add_platform_arg(p, default="eyeriss")
     p.set_defaults(func=cmd_hwsearch)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import nn
-from repro.accelerator import default_energy_table, evaluate_network
+from repro.accelerator import evaluate_network
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES, cost_hw
 from repro.arch import NetworkArch, SearchSpace, SuperNet
@@ -125,13 +125,21 @@ class SearchConfig:
     #: architecture is never changed by this step).
     decode_repair: bool = True
     method_name: str = "HDX"
+    #: Registered hardware platform the run targets.  The estimator must
+    #: be pre-trained against the same platform; the generator decodes
+    #: into, and decode repair / ground-truth reporting evaluate with,
+    #: this platform's design space and analytical model.
+    platform: str = "eyeriss"
 
 
 class _DirectBeta(nn.Module):
     """Auto-NBA-style free hardware parameters (no generator network)."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, platform: str = "eyeriss") -> None:
         super().__init__()
+        from repro.accelerator.platform import as_platform
+
+        self.platform = as_platform(platform).name
         rng = np.random.default_rng(seed)
         self.raw = nn.Parameter(rng.normal(0.0, 0.1, size=AcceleratorConfig.vector_dim()))
 
@@ -144,37 +152,42 @@ class _DirectBeta(nn.Module):
         from repro.autodiff import no_grad
 
         with no_grad():
-            return AcceleratorConfig.from_vector(self.forward(arch_features).data)
+            return AcceleratorConfig.from_vector(
+                self.forward(arch_features).data, platform=self.platform
+            )
 
 
-def neighbourhood_configs(config: AcceleratorConfig):
-    """Discrete configs near ``config`` (the decode-repair scan set)."""
-    from repro.accelerator.config import (
-        DATAFLOWS,
-        PE_COLS_RANGE,
-        PE_ROWS_RANGE,
-        RF_BYTES_OPTIONS,
-    )
+def neighbourhood_configs(config: AcceleratorConfig, platform=None):
+    """Discrete configs near ``config`` (the decode-repair scan set).
 
-    rf_index = RF_BYTES_OPTIONS.index(config.rf_bytes)
+    The neighbourhood is clipped to the config's platform design space
+    (or an explicitly passed platform's).
+    """
+    from repro.accelerator.config import DATAFLOWS
+    from repro.accelerator.platform import as_platform
+
+    plat = as_platform(platform if platform is not None else config.platform)
+    rows_range, cols_range = plat.pe_rows_range, plat.pe_cols_range
+    rf_options = plat.rf_bytes_options
+    rf_index = rf_options.index(config.rf_bytes)
     rows_opts = [
         r for r in (config.pe_rows - 1, config.pe_rows, config.pe_rows + 1)
-        if PE_ROWS_RANGE[0] <= r <= PE_ROWS_RANGE[-1]
+        if rows_range[0] <= r <= rows_range[-1]
     ]
     cols_opts = [
         c for c in (config.pe_cols - 2, config.pe_cols, config.pe_cols + 2)
-        if PE_COLS_RANGE[0] <= c <= PE_COLS_RANGE[-1]
+        if cols_range[0] <= c <= cols_range[-1]
     ]
     rf_opts = [
-        RF_BYTES_OPTIONS[i]
+        rf_options[i]
         for i in (rf_index - 1, rf_index, rf_index + 1)
-        if 0 <= i < len(RF_BYTES_OPTIONS)
+        if 0 <= i < len(rf_options)
     ]
     for rows in rows_opts:
         for cols in cols_opts:
             for rf in rf_opts:
                 for df in DATAFLOWS:
-                    yield AcceleratorConfig(rows, cols, rf, df)
+                    yield AcceleratorConfig(rows, cols, rf, df, platform=plat.name)
 
 
 def decode_repair_scan(
@@ -184,6 +197,7 @@ def decode_repair_scan(
     constraints: ConstraintSet,
     cost_weights: Optional[Dict[str, float]] = None,
     energy_table=None,
+    platform=None,
 ):
     """Discretization-aware decode repair (shared by both engines).
 
@@ -191,16 +205,20 @@ def decode_repair_scan(
     neighbourhood with the vectorized subset evaluator and returns the
     cheapest ground-truth-feasible neighbour (metrics recomputed with
     the scalar oracle so reported numbers stay bit-identical to
-    ``evaluate_network``).  Both :class:`CoExplorer` and the fleet
-    engine must call this one function — a private reimplementation in
-    either engine breaks seed-for-seed parity (DESIGN.md).
+    ``evaluate_network``).  ``platform`` defaults to the config's own;
+    both the scan set and the evaluators are per-platform.  Both
+    :class:`CoExplorer` and the fleet engine must call this one
+    function — a private reimplementation in either engine breaks
+    seed-for-seed parity (DESIGN.md).
     """
     from repro.accelerator.batch import evaluate_network_batch
+    from repro.accelerator.platform import as_platform
 
+    plat = as_platform(platform if platform is not None else config.platform)
     if not constraints or constraints.all_satisfied(metrics):
         return config, metrics
-    neighbours = list(neighbourhood_configs(config))
-    evaluation = evaluate_network_batch(arch, neighbours, energy_table)
+    neighbours = list(neighbourhood_configs(config, plat))
+    evaluation = evaluate_network_batch(arch, neighbours, energy_table, plat)
     metric_arrays = {
         "latency": evaluation.latency_ms,
         "energy": evaluation.energy_mj,
@@ -213,7 +231,7 @@ def decode_repair_scan(
         return config, metrics
     costs = np.where(feasible, evaluation.cost_hw(cost_weights), np.inf)
     chosen = neighbours[int(np.argmin(costs))]
-    return chosen, evaluate_network(arch, chosen, energy_table)
+    return chosen, evaluate_network(arch, chosen, energy_table, plat)
 
 
 def differentiable_edp(metrics: Tensor) -> Tensor:
@@ -254,9 +272,19 @@ class CoExplorer:
     ) -> None:
         if not estimator.frozen:
             raise ValueError("estimator must be pre-trained and frozen before search")
+        from repro.accelerator.platform import as_platform
+
         self.space = space
         self.estimator = estimator
         self.config = config
+        self.platform = as_platform(config.platform)
+        est_platform = getattr(estimator, "platform", "eyeriss")
+        if est_platform != self.platform.name:
+            raise ValueError(
+                f"estimator is pre-trained for platform {est_platform!r} but the "
+                f"search targets {self.platform.name!r}; pre-train one per platform "
+                f"(see experiments.common.get_estimator)"
+            )
         self.rng = np.random.default_rng(config.seed)
 
         if config.fidelity == "surrogate":
@@ -298,9 +326,13 @@ class CoExplorer:
             raise ValueError(f"unknown fidelity {config.fidelity!r}")
 
         if config.use_generator:
-            self.generator = HardwareGenerator(space, seed=config.seed + 1)
+            self.generator = HardwareGenerator(
+                space, seed=config.seed + 1, platform=self.platform.name
+            )
         else:
-            self.generator = _DirectBeta(seed=config.seed + 1)
+            self.generator = _DirectBeta(
+                seed=config.seed + 1, platform=self.platform.name
+            )
 
         self.delta_policy = DeltaPolicy(delta0=config.delta0, p=config.p)
         self._alpha_opt = nn.SGD([self.alpha], lr=config.alpha_lr)
@@ -534,8 +566,8 @@ class CoExplorer:
         arch = self.dominant_arch()
         hard_feats = Tensor(arch_features_from_indices(self.space, arch.to_indices()))
         config = self.generator.discretize(hard_feats)
-        table = default_energy_table()
-        metrics = evaluate_network(arch, config, table)
+        table = self.platform.energy_table
+        metrics = evaluate_network(arch, config, table, self.platform)
         if self.config.decode_repair:
             config, metrics = decode_repair_scan(
                 arch,
@@ -544,6 +576,7 @@ class CoExplorer:
                 self.config.constraints,
                 cost_weights=self.config.cost_weights,
                 energy_table=table,
+                platform=self.platform,
             )
         error = self.surrogate.trained_error(arch, seed=self.config.seed)
         return SearchResult(
@@ -557,4 +590,5 @@ class CoExplorer:
             in_constraint=self.config.constraints.all_satisfied(metrics),
             history=history,
             method=self.config.method_name,
+            platform=self.platform.name,
         )

@@ -45,11 +45,11 @@ graph structure and batches within each group.  Full-fidelity runs
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.accelerator import default_energy_table, evaluate_network
+from repro.accelerator import evaluate_network
 from repro.accelerator.cost import COST_WEIGHTS, REFERENCE_SCALES, cost_hw
 from repro.arch import NetworkArch, SearchSpace
 from repro.arch.encoding import (
@@ -86,9 +86,12 @@ def _structure_key(config: SearchConfig) -> Tuple:
     Runs with the same key build isomorphic loss graphs and can be
     batched together; everything else about a config (seed, lambdas,
     bounds, learning rates, ablation flags applied per-run) is data,
-    not structure.
+    not structure.  The platform is structural: each batch shares one
+    frozen estimator and one design space to decode into, so only
+    same-platform runs may share a batch.
     """
     return (
+        config.platform,
         config.fidelity,
         config.epochs,
         config.use_generator,
@@ -110,6 +113,12 @@ class _DirectBetaFleet:
     """
 
     def __init__(self, betas: Sequence) -> None:
+        platforms = {b.platform for b in betas}
+        if len(platforms) != 1:
+            raise ValueError(
+                f"fleet betas must share one platform, got {sorted(platforms)}"
+            )
+        self.platform = betas[0].platform
         self.raw = np.stack([b.raw.data for b in betas])
 
     def params(self) -> List[np.ndarray]:
@@ -130,7 +139,9 @@ class _DirectBetaFleet:
         from repro.accelerator.config import AcceleratorConfig
 
         vectors, _ = self.forward(arch_features, want_cache=False)
-        return [AcceleratorConfig.from_vector(v) for v in vectors]
+        return [
+            AcceleratorConfig.from_vector(v, platform=self.platform) for v in vectors
+        ]
 
 
 class _FleetGroup:
@@ -145,12 +156,21 @@ class _FleetGroup:
     ) -> None:
         if not estimator.frozen:
             raise ValueError("estimator must be pre-trained and frozen before search")
+        from repro.accelerator.platform import as_platform
+
         cfg0 = configs[0]
         if cfg0.fidelity != "surrogate":
             raise ValueError("_FleetGroup only batches surrogate-fidelity runs")
         self.space = space
         self.estimator = estimator
         self.configs = list(configs)
+        self.platform = as_platform(cfg0.platform)
+        est_platform = getattr(estimator, "platform", "eyeriss")
+        if est_platform != self.platform.name:
+            raise ValueError(
+                f"estimator is pre-trained for platform {est_platform!r} but the "
+                f"batch targets {self.platform.name!r}"
+            )
         self.n = len(self.configs)
         n = self.n
 
@@ -183,13 +203,21 @@ class _FleetGroup:
             from repro.estimator.generator import HardwareGenerator
 
             self.generator = HardwareGeneratorFleet(
-                [HardwareGenerator(space, seed=c.seed + 1) for c in self.configs]
+                [
+                    HardwareGenerator(
+                        space, seed=c.seed + 1, platform=self.platform.name
+                    )
+                    for c in self.configs
+                ]
             )
         else:
             from repro.core.coexplore import _DirectBeta
 
             self.generator = _DirectBetaFleet(
-                [_DirectBeta(seed=c.seed + 1) for c in self.configs]
+                [
+                    _DirectBeta(seed=c.seed + 1, platform=self.platform.name)
+                    for c in self.configs
+                ]
             )
         self._gen_params = self.generator.params()
         self._est_kernel = estimator.fleet_kernel()
@@ -615,12 +643,12 @@ class _FleetGroup:
         indices = self._dominant_indices()
         one_hot = arch_features_from_indices_batch(self.space, indices)
         hw_configs = self.generator.discretize_all(one_hot)
-        table = default_energy_table()
+        table = self.platform.energy_table
         results: List[SearchResult] = []
         for i, cfg in enumerate(self.configs):
             arch = NetworkArch.from_indices(self.space, [int(x) for x in indices[i]])
             config = hw_configs[i]
-            metrics = evaluate_network(arch, config, table)
+            metrics = evaluate_network(arch, config, table, self.platform)
             if cfg.decode_repair:
                 config, metrics = decode_repair_scan(
                     arch,
@@ -629,6 +657,7 @@ class _FleetGroup:
                     cfg.constraints,
                     cost_weights=cfg.cost_weights,
                     energy_table=table,
+                    platform=self.platform,
                 )
             error = self.surrogate.trained_error(arch, seed=cfg.seed)
             results.append(
@@ -643,6 +672,7 @@ class _FleetGroup:
                     in_constraint=cfg.constraints.all_satisfied(metrics),
                     history=histories[i],
                     method=cfg.method_name,
+                    platform=self.platform.name,
                 )
             )
         return results
@@ -656,12 +686,17 @@ class SearchFleet:
     :class:`CoExplorer` for full-fidelity runs.  Results come back in
     input order and are seed-for-seed identical to running each config
     through ``CoExplorer(space, estimator, config).search()``.
+
+    ``estimator`` is either one :class:`CostEstimator` (all configs
+    must target its platform) or a ``{platform_name: CostEstimator}``
+    mapping for cross-platform fleets — the structural grouping already
+    keys on the platform, so each batch resolves exactly one estimator.
     """
 
     def __init__(
         self,
         space: SearchSpace,
-        estimator: CostEstimator,
+        estimator: Union[CostEstimator, Mapping[str, CostEstimator]],
         configs: Sequence[SearchConfig],
         surrogate: Optional[AccuracySurrogate] = None,
         dataset=None,
@@ -672,6 +707,17 @@ class SearchFleet:
         self.surrogate = surrogate
         self.dataset = dataset
 
+    def _estimator_for(self, config: SearchConfig) -> CostEstimator:
+        if isinstance(self.estimator, Mapping):
+            try:
+                return self.estimator[config.platform]
+            except KeyError:
+                raise ValueError(
+                    f"no estimator supplied for platform {config.platform!r}; "
+                    f"have {sorted(self.estimator)}"
+                ) from None
+        return self.estimator
+
     def search_all(self) -> List[SearchResult]:
         results: List[Optional[SearchResult]] = [None] * len(self.configs)
         groups: Dict[Tuple, List[int]] = {}
@@ -681,7 +727,7 @@ class SearchFleet:
             else:
                 results[index] = CoExplorer(
                     self.space,
-                    self.estimator,
+                    self._estimator_for(config),
                     config,
                     surrogate=self.surrogate,
                     dataset=self.dataset,
@@ -689,7 +735,7 @@ class SearchFleet:
         for indices in groups.values():
             group = _FleetGroup(
                 self.space,
-                self.estimator,
+                self._estimator_for(self.configs[indices[0]]),
                 [self.configs[i] for i in indices],
                 surrogate=self.surrogate,
             )
@@ -701,7 +747,7 @@ class SearchFleet:
 
 def run_many(
     space: SearchSpace,
-    estimator: CostEstimator,
+    estimator: Union[CostEstimator, Mapping[str, CostEstimator]],
     configs: Sequence[SearchConfig],
     surrogate: Optional[AccuracySurrogate] = None,
     dataset=None,
@@ -710,7 +756,9 @@ def run_many(
 
     Drop-in replacement for a loop of ``CoExplorer(...).search()``
     calls: same results (seed for seed), one vectorized program per
-    structural group instead of N sequential scalar searches.
+    structural group instead of N sequential scalar searches.  Pass a
+    ``{platform: estimator}`` mapping to run a cross-platform fleet
+    (same network space, K hardware targets) in one call.
     """
     return SearchFleet(
         space, estimator, configs, surrogate=surrogate, dataset=dataset

@@ -46,10 +46,13 @@ class SearchResult:
     in_constraint: bool
     history: List[EpochRecord] = field(default_factory=list)
     method: str = "HDX"
+    #: Hardware platform the search targeted (and the metrics refer to).
+    platform: str = "eyeriss"
 
     def summary(self) -> str:
         flag = "OK " if self.in_constraint else "VIOL"
+        target = "" if self.platform == "eyeriss" else f" @ {self.platform}"
         return (
             f"[{self.method}] {flag} {self.metrics} | err {self.error_percent:.2f}% "
-            f"| cost {self.cost:.2f} | loss {self.loss_nas:.3f} | {self.config}"
+            f"| cost {self.cost:.2f} | loss {self.loss_nas:.3f} | {self.config}{target}"
         )

@@ -59,17 +59,26 @@ def build_cost_dataset(
     space: SearchSpace,
     n_samples: int = 4000,
     seed: int = 0,
+    platform=None,
 ) -> CostDataset:
-    """Sample (network, accelerator) pairs and evaluate ground truth."""
+    """Sample (network, accelerator) pairs and evaluate ground truth.
+
+    ``platform`` selects the hardware design space the accelerator half
+    is drawn from and the analytical oracle the targets come from
+    (default: eyeriss).
+    """
+    from repro.accelerator.platform import as_platform
+
+    plat = as_platform(platform)
     rng = np.random.default_rng(seed)
-    design_space = DesignSpace()
+    design_space = DesignSpace(plat)
     dim = extended_feature_dim(space) + 6
     features = np.empty((n_samples, dim))
     targets = np.empty((n_samples, 3))
     for i in range(n_samples):
         arch = NetworkArch.random(space, rng)
         config = design_space.sample(rng)
-        metrics = evaluate_network(arch, config)
+        metrics = evaluate_network(arch, config, platform=plat)
         features[i] = np.concatenate(
             [extended_features_from_indices(space, arch.to_indices()), config.to_vector()]
         )

@@ -21,7 +21,12 @@ METRIC_INDEX = {"latency": 0, "energy": 1, "area": 2}
 
 
 class CostEstimator(nn.Module):
-    """Residual-MLP estimator of hardware metrics."""
+    """Residual-MLP estimator of hardware metrics.
+
+    An estimator is trained against one hardware platform's analytical
+    oracle and is only valid for that platform; ``platform`` records
+    which one so search engines can refuse mismatched pairings.
+    """
 
     def __init__(
         self,
@@ -29,9 +34,13 @@ class CostEstimator(nn.Module):
         width: int = 96,
         n_layers: int = 5,
         seed: int = 0,
+        platform: str = "eyeriss",
     ) -> None:
         super().__init__()
+        from repro.accelerator.platform import as_platform
+
         self.space = space
+        self.platform = as_platform(platform).name
         in_dim = extended_feature_dim(space) + 6
         self.mlp = nn.ResidualMLP(
             in_dim, 3, width=width, n_layers=n_layers, rng=np.random.default_rng(seed)

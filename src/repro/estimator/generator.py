@@ -21,7 +21,12 @@ from repro.arch.encoding import arch_feature_dim
 
 
 class HardwareGenerator(nn.Module):
-    """Residual-MLP generator of relaxed accelerator configurations."""
+    """Residual-MLP generator of relaxed accelerator configurations.
+
+    The generator's outputs live in the unit cube regardless of target;
+    ``platform`` fixes which design space :meth:`discretize` snaps them
+    into (the platform-normalized vector encoding).
+    """
 
     def __init__(
         self,
@@ -29,9 +34,13 @@ class HardwareGenerator(nn.Module):
         width: int = 64,
         n_layers: int = 5,
         seed: int = 1,
+        platform: str = "eyeriss",
     ) -> None:
         super().__init__()
+        from repro.accelerator.platform import as_platform
+
         self.space = space
+        self.platform = as_platform(platform).name
         self.mlp = nn.ResidualMLP(
             arch_feature_dim(space),
             AcceleratorConfig.vector_dim(),
@@ -48,10 +57,10 @@ class HardwareGenerator(nn.Module):
         return ops.concat([size_part, dataflow_part], axis=0)
 
     def discretize(self, arch_features: Tensor) -> AcceleratorConfig:
-        """Snap the generator output to the nearest discrete design."""
+        """Snap the generator output to the platform's nearest design."""
         with no_grad():
             vector = self.forward(arch_features.detach()).data
-        return AcceleratorConfig.from_vector(vector)
+        return AcceleratorConfig.from_vector(vector, platform=self.platform)
 
 
 def accelerator_head_forward(raw: np.ndarray):
@@ -104,7 +113,13 @@ class HardwareGeneratorFleet:
     def __init__(self, generators: Sequence[HardwareGenerator]) -> None:
         if not generators:
             raise ValueError("HardwareGeneratorFleet needs at least one generator")
+        platforms = {g.platform for g in generators}
+        if len(platforms) != 1:
+            raise ValueError(
+                f"fleet generators must share one platform, got {sorted(platforms)}"
+            )
         self.space = generators[0].space
+        self.platform = generators[0].platform
         self.n_runs = len(generators)
         self.kernel = nn.ResidualMLPKernel(mlps=[g.mlp for g in generators])
 
@@ -142,6 +157,8 @@ class HardwareGeneratorFleet:
         return (None if d_x is None else d_x.reshape(n, -1)), grads
 
     def discretize_all(self, arch_features: np.ndarray) -> List[AcceleratorConfig]:
-        """Snap every run's output to the nearest discrete design."""
+        """Snap every run's output to the platform's nearest design."""
         vectors, _ = self.forward(arch_features, want_cache=False)
-        return [AcceleratorConfig.from_vector(v) for v in vectors]
+        return [
+            AcceleratorConfig.from_vector(v, platform=self.platform) for v in vectors
+        ]

@@ -66,10 +66,25 @@ def pretrain_estimator(
     epochs: int = 120,
     seed: int = 0,
     estimator: Optional[CostEstimator] = None,
+    platform: str = "eyeriss",
 ) -> CostEstimator:
-    """Build dataset, train, freeze — the full pre-training pipeline."""
-    dataset = build_cost_dataset(space, n_samples=n_samples, seed=seed)
-    estimator = estimator or CostEstimator(space, width=128, seed=seed)
+    """Build dataset, train, freeze — the full pre-training pipeline.
+
+    ``platform`` names the hardware target the training pairs are
+    sampled from; a supplied ``estimator`` must already be bound to it.
+    """
+    from repro.accelerator.platform import as_platform
+
+    plat = as_platform(platform)
+    if estimator is not None and estimator.platform != plat.name:
+        raise ValueError(
+            f"estimator is bound to platform {estimator.platform!r}, "
+            f"cannot pre-train it against {plat.name!r}"
+        )
+    dataset = build_cost_dataset(space, n_samples=n_samples, seed=seed, platform=plat)
+    estimator = estimator or CostEstimator(
+        space, width=128, seed=seed, platform=plat.name
+    )
     train_estimator(estimator, dataset, epochs=epochs, seed=seed)
     estimator.freeze()
     return estimator

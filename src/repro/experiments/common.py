@@ -3,22 +3,29 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accelerator.platform import as_platform
 from repro.arch import SearchSpace, cifar_space, imagenet_space
 from repro.estimator import CostEstimator, pretrain_estimator
 from repro.surrogate import AccuracySurrogate
 
-_ESTIMATORS: Dict[str, CostEstimator] = {}
+#: In-process estimator cache, keyed on everything the trained weights
+#: depend on: (space, platform, seed).
+_ESTIMATORS: Dict[Tuple[str, str, int], CostEstimator] = {}
 _SURROGATES: Dict[str, AccuracySurrogate] = {}
 _SPACES: Dict[str, SearchSpace] = {}
 
 #: On-disk cache directory for pre-trained estimators (pre-training
-#: takes ~30 s; experiments re-use it).
-CACHE_DIR = os.environ.get(
-    "REPRO_CACHE_DIR", os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache")
+#: takes ~30 s; experiments re-use it).  Absolute, so a chdir between
+#: calls cannot silently split the cache.
+CACHE_DIR = os.path.abspath(
+    os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache"),
+    )
 )
 
 
@@ -29,30 +36,41 @@ def get_space(name: str) -> SearchSpace:
     return _SPACES[name]
 
 
-def _cache_path(name: str) -> str:
-    return os.path.join(CACHE_DIR, f"estimator_{name}.npz")
+def _cache_path(name: str, platform: str = "eyeriss", seed: int = 0) -> str:
+    # The default combination keeps its pre-platform filename so warm
+    # caches (local .cache/, CI) survive the platform refactor.
+    if platform == "eyeriss" and seed == 0:
+        return os.path.join(CACHE_DIR, f"estimator_{name}.npz")
+    return os.path.join(CACHE_DIR, f"estimator_{name}_{platform}_s{seed}.npz")
 
 
-def get_estimator(space_name: str = "cifar10", seed: int = 0) -> CostEstimator:
-    """Pre-trained, frozen cost estimator for a named space.
+def get_estimator(
+    space_name: str = "cifar10", platform: str = "eyeriss", seed: int = 0
+) -> CostEstimator:
+    """Pre-trained, frozen cost estimator for a (space, platform) pair.
 
-    Cached in-process and on disk; delete ``.cache/`` to force
-    re-training (necessary after changing the analytical cost model).
+    Cached in-process and on disk, keyed on (space, platform, seed);
+    delete ``.cache/`` to force re-training (necessary after changing
+    the analytical cost model or a platform definition).
     """
-    if space_name in _ESTIMATORS:
-        return _ESTIMATORS[space_name]
+    platform = as_platform(platform).name
+    key = (space_name, platform, seed)
+    if key in _ESTIMATORS:
+        return _ESTIMATORS[key]
     space = get_space(space_name)
-    path = _cache_path(space_name)
-    estimator = CostEstimator(space, width=128, seed=seed)
+    path = _cache_path(space_name, platform, seed)
+    estimator = CostEstimator(space, width=128, seed=seed, platform=platform)
     if os.path.exists(path):
         archive = np.load(path)
         estimator.load_state_dict({k: archive[k] for k in archive.files})
         estimator.freeze()
     else:
-        estimator = pretrain_estimator(space, seed=seed, estimator=estimator)
+        estimator = pretrain_estimator(
+            space, seed=seed, estimator=estimator, platform=platform
+        )
         os.makedirs(CACHE_DIR, exist_ok=True)
         np.savez(path, **estimator.state_dict())
-    _ESTIMATORS[space_name] = estimator
+    _ESTIMATORS[key] = estimator
     return estimator
 
 

@@ -43,15 +43,19 @@ def config_to_dict(config: AcceleratorConfig) -> Dict:
         "pe_cols": config.pe_cols,
         "rf_bytes": config.rf_bytes,
         "dataflow": config.dataflow.name,
+        "platform": config.platform,
     }
 
 
 def config_from_dict(data: Dict) -> AcceleratorConfig:
+    # Results written before the platform layer carry no platform field;
+    # they were all eyeriss searches.
     return AcceleratorConfig(
         pe_rows=data["pe_rows"],
         pe_cols=data["pe_cols"],
         rf_bytes=data["rf_bytes"],
         dataflow=Dataflow[data["dataflow"]],
+        platform=data.get("platform", "eyeriss"),
     )
 
 
@@ -66,6 +70,7 @@ def constraints_from_dict(data: Dict) -> ConstraintSet:
 def result_to_dict(result: SearchResult) -> Dict:
     return {
         "method": result.method,
+        "platform": result.platform,
         "arch": arch_to_dict(result.arch),
         "config": config_to_dict(result.config),
         "metrics": {
@@ -96,6 +101,7 @@ def result_from_dict(data: Dict, space: SearchSpace = None) -> SearchResult:
         in_constraint=data["in_constraint"],
         history=[],
         method=data["method"],
+        platform=data.get("platform", "eyeriss"),
     )
 
 

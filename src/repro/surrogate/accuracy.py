@@ -14,6 +14,12 @@ classification error through a smooth capacity model:
 
 The gradient field rewards capacity, which conflicts with hardware
 cost — exactly the tension the HDX gradient manipulation resolves.
+
+The surrogate is **platform-independent by construction**: it models
+classification accuracy, a property of the network alone, so the same
+surrogate (and the same fleet stack) serves searches against every
+registered hardware platform.  The platform enters the loss only
+through the estimator's Cost_HW term and the constraint pass.
 """
 
 from __future__ import annotations

@@ -1,0 +1,559 @@
+"""Tests for the pluggable hardware-platform layer.
+
+Covers the registry, the per-platform design spaces and vector
+encodings, the per-platform scalar<->batched bit-level parity contract,
+fleet-vs-scalar search parity on every registered platform, the
+(space, platform, seed) estimator cache keys, and platform round-trips
+through serialization and the CLI.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    DATAFLOWS,
+    AcceleratorConfig,
+    Dataflow,
+    DesignSpace,
+    Platform,
+    area_mm2,
+    as_platform,
+    available_platforms,
+    evaluate_network,
+    exhaustive_search,
+    get_platform,
+    register_platform,
+    unregister_platform,
+)
+from repro.accelerator.batch import evaluate_network_batch, evaluate_network_space
+from repro.accelerator.energy import EnergyTable, default_energy_table
+from repro.arch import NetworkArch, cifar_space
+from repro.core import CoExplorer, ConstraintSet, SearchConfig, run_many
+from repro.core.coexplore import neighbourhood_configs
+from repro.estimator import pretrain_estimator
+
+SPACE = cifar_space()
+PLATFORM_NAMES = tuple(available_platforms())
+
+#: Per-platform latency bounds that keep the constraint machinery alive
+#: in the reduced-epoch parity searches (the platforms' latency scales
+#: differ by ~50x, so one bound cannot serve all).
+LATENCY_BOUND = {"eyeriss": 16.6, "edge": 100.0, "tpu-like": 4.0}
+
+
+@pytest.fixture(scope="module")
+def small_estimators():
+    """One small pre-trained estimator per registered platform.
+
+    Search parity does not depend on estimator quality, only on both
+    engines sharing the same frozen weights, so tiny training settings
+    keep the suite fast.
+    """
+    return {
+        name: pretrain_estimator(SPACE, n_samples=400, epochs=8, seed=0, platform=name)
+        for name in PLATFORM_NAMES
+    }
+
+
+def _tmp_platform(name: str) -> Platform:
+    eyeriss = get_platform("eyeriss")
+    return Platform(
+        name=name,
+        pe_rows_range=(2, 3, 4),
+        pe_cols_range=(2, 3, 4),
+        rf_bytes_options=(16, 32),
+        word_bytes=2,
+        global_buffer_bytes=16 * 1024,
+        clock_mhz=50.0,
+        buffer_words_per_cycle=8.0,
+        dram_words_per_cycle=2.0,
+        ws_depthwise_penalty=0.25,
+        dataflow_energy_factor=dict(eyeriss.dataflow_energy_factor),
+        energy_table=default_energy_table(),
+        pe_base_mm2=0.001,
+        rf_mm2_per_byte=4.0e-6,
+        global_buffer_mm2=0.2,
+        noc_mm2_per_lane=0.001,
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"eyeriss", "edge", "tpu-like"} <= set(available_platforms())
+
+    def test_lookup_and_resolution(self):
+        eyeriss = get_platform("eyeriss")
+        assert as_platform(None) is eyeriss
+        assert as_platform("eyeriss") is eyeriss
+        assert as_platform(eyeriss) is eyeriss
+
+    def test_unknown_name_raises_with_options(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            get_platform("does-not-exist")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_platform(get_platform("eyeriss"))
+
+    def test_register_replace_and_unregister(self):
+        plat = _tmp_platform("test-tmp")
+        try:
+            register_platform(plat)
+            assert get_platform("test-tmp") is plat
+            replacement = _tmp_platform("test-tmp")
+            with pytest.raises(ValueError):
+                register_platform(replacement)
+            register_platform(replacement, replace=True)
+            assert get_platform("test-tmp") is replacement
+        finally:
+            unregister_platform("test-tmp")
+        assert "test-tmp" not in available_platforms()
+
+    def test_non_contiguous_pe_range_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            Platform(
+                name="bad",
+                pe_rows_range=(2, 4, 8),
+                pe_cols_range=(2, 3, 4),
+                rf_bytes_options=(16, 32),
+                word_bytes=2,
+                global_buffer_bytes=1024,
+                clock_mhz=100.0,
+                buffer_words_per_cycle=8.0,
+                dram_words_per_cycle=2.0,
+                ws_depthwise_penalty=0.25,
+                dataflow_energy_factor={df: 1.0 for df in DATAFLOWS},
+                energy_table=default_energy_table(),
+                pe_base_mm2=0.001,
+                rf_mm2_per_byte=4.0e-6,
+                global_buffer_mm2=0.2,
+                noc_mm2_per_lane=0.001,
+            )
+
+    def test_missing_dataflow_factor_rejected(self):
+        with pytest.raises(ValueError, match="dataflow_energy_factor"):
+            Platform(
+                name="bad",
+                pe_rows_range=(2, 3, 4),
+                pe_cols_range=(2, 3, 4),
+                rf_bytes_options=(16, 32),
+                word_bytes=2,
+                global_buffer_bytes=1024,
+                clock_mhz=100.0,
+                buffer_words_per_cycle=8.0,
+                dram_words_per_cycle=2.0,
+                ws_depthwise_penalty=0.25,
+                dataflow_energy_factor={Dataflow.WS: 1.0},
+                energy_table=default_energy_table(),
+                pe_base_mm2=0.001,
+                rf_mm2_per_byte=4.0e-6,
+                global_buffer_mm2=0.2,
+                noc_mm2_per_lane=0.001,
+            )
+
+
+class TestEyerissIsTheSeedTarget:
+    """The default platform must be the seed's constants, verbatim."""
+
+    def test_matches_legacy_module_constants(self):
+        from repro.accelerator import area, timeloop
+        from repro.accelerator.config import (
+            GLOBAL_BUFFER_BYTES,
+            PE_COLS_RANGE,
+            PE_ROWS_RANGE,
+            RF_BYTES_OPTIONS,
+            WORD_BYTES,
+        )
+
+        plat = get_platform("eyeriss")
+        assert plat.pe_rows_range == PE_ROWS_RANGE
+        assert plat.pe_cols_range == PE_COLS_RANGE
+        assert plat.rf_bytes_options == RF_BYTES_OPTIONS
+        assert plat.word_bytes == WORD_BYTES
+        assert plat.global_buffer_bytes == GLOBAL_BUFFER_BYTES
+        assert plat.clock_mhz == timeloop.CLOCK_MHZ
+        assert plat.buffer_words_per_cycle == timeloop.BUFFER_WORDS_PER_CYCLE
+        assert plat.dram_words_per_cycle == timeloop.DRAM_WORDS_PER_CYCLE
+        assert plat.ws_depthwise_penalty == timeloop.WS_DEPTHWISE_PENALTY
+        assert dict(plat.dataflow_energy_factor) == timeloop.DATAFLOW_ENERGY_FACTOR
+        assert plat.energy_table is default_energy_table()
+        assert plat.pe_base_mm2 == area.PE_BASE_MM2
+        assert plat.rf_mm2_per_byte == area.RF_MM2_PER_BYTE
+        assert plat.global_buffer_mm2 == area.GLOBAL_BUFFER_MM2
+        assert plat.noc_mm2_per_lane == area.NOC_MM2_PER_LANE
+
+    def test_default_constructions_are_eyeriss(self):
+        assert AcceleratorConfig(16, 16, 64, Dataflow.RS).platform == "eyeriss"
+        assert DesignSpace().platform.name == "eyeriss"
+
+
+@pytest.mark.parametrize("name", PLATFORM_NAMES)
+class TestPerPlatformDesignSpace:
+    def test_space_size_and_iteration(self, name):
+        plat = get_platform(name)
+        ds = plat.design_space()
+        expected = (
+            len(plat.pe_rows_range)
+            * len(plat.pe_cols_range)
+            * len(plat.rf_bytes_options)
+            * len(plat.dataflows)
+        )
+        assert len(ds) == expected
+        assert sum(1 for _ in ds) == expected
+
+    def test_out_of_range_config_rejected(self, name):
+        plat = get_platform(name)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                plat.pe_rows_range[-1] + 1,
+                plat.pe_cols_range[0],
+                plat.rf_bytes_options[0],
+                Dataflow.WS,
+                platform=name,
+            )
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                plat.pe_rows_range[0],
+                plat.pe_cols_range[0],
+                plat.rf_bytes_options[0] + 1,
+                Dataflow.WS,
+                platform=name,
+            )
+
+    def test_vector_roundtrip(self, name):
+        plat = get_platform(name)
+        rng = np.random.default_rng(3)
+        ds = plat.design_space()
+        for _ in range(40):
+            cfg = ds.sample(rng)
+            restored = AcceleratorConfig.from_vector(cfg.to_vector(), platform=name)
+            assert restored == cfg
+            assert restored.platform == name
+
+    def test_neighbourhood_stays_in_platform_space(self, name):
+        plat = get_platform(name)
+        rng = np.random.default_rng(5)
+        centre = plat.design_space().sample(rng)
+        neighbours = list(neighbourhood_configs(centre))
+        assert neighbours, "neighbourhood must not be empty"
+        for cfg in neighbours:
+            assert cfg.platform == name
+            assert plat.contains(cfg.pe_rows, cfg.pe_cols, cfg.rf_bytes)
+
+    def test_area_monotone_in_pes_and_rf(self, name):
+        plat = get_platform(name)
+        rows, cols, rfs = plat.pe_rows_range, plat.pe_cols_range, plat.rf_bytes_options
+        small = plat.config(rows[0], cols[0], rfs[0], Dataflow.RS)
+        large = plat.config(rows[-1], cols[-1], rfs[0], Dataflow.RS)
+        assert area_mm2(large) > area_mm2(small)
+        lo = plat.config(rows[0], cols[0], rfs[0], Dataflow.RS)
+        hi = plat.config(rows[0], cols[0], rfs[-1], Dataflow.RS)
+        assert area_mm2(hi) > area_mm2(lo)
+
+
+@pytest.mark.parametrize("name", PLATFORM_NAMES)
+class TestPerPlatformScalarBatchParity:
+    """The scalar<->vectorized mirror contract holds per platform."""
+
+    def test_full_space_matches_scalar(self, name):
+        plat = get_platform(name)
+        rng = np.random.default_rng(7)
+        arch = NetworkArch.random(SPACE, rng)
+        ev = plat.evaluate_network_space(arch)
+        assert len(ev.configs) == len(plat.design_space())
+        for index in rng.choice(len(ev.configs), size=15, replace=False):
+            truth = evaluate_network(arch, ev.configs[index])
+            assert ev.latency_ms[index] == pytest.approx(truth.latency_ms, rel=1e-12)
+            assert ev.energy_mj[index] == pytest.approx(truth.energy_mj, rel=1e-12)
+            assert ev.area_mm2[index] == pytest.approx(truth.area_mm2, rel=1e-12)
+
+    def test_subset_matches_scalar_on_repair_neighbourhood(self, name):
+        plat = get_platform(name)
+        rng = np.random.default_rng(9)
+        arch = NetworkArch.random(SPACE, rng)
+        centre = plat.design_space().sample(rng)
+        neighbours = list(neighbourhood_configs(centre))
+        ev = evaluate_network_batch(arch, neighbours)
+        for index in range(0, len(neighbours), max(1, len(neighbours) // 6)):
+            truth = evaluate_network(arch, neighbours[index])
+            assert ev.latency_ms[index] == pytest.approx(truth.latency_ms, rel=1e-12)
+            assert ev.energy_mj[index] == pytest.approx(truth.energy_mj, rel=1e-12)
+            assert ev.area_mm2[index] == pytest.approx(truth.area_mm2, rel=1e-12)
+
+    def test_exhaustive_search_runs(self, name):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        config, metrics = exhaustive_search(arch, platform=name)
+        assert config.platform == name
+        assert metrics.latency_ms > 0 and metrics.energy_mj > 0
+
+
+class TestBatchGuards:
+    def test_mixed_platform_batch_rejected(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        edge_cfg = get_platform("edge").config(8, 8, 32, Dataflow.RS)
+        tpu_cfg = get_platform("tpu-like").config(32, 32, 64, Dataflow.WS)
+        with pytest.raises(ValueError, match="mixes platforms"):
+            evaluate_network_batch(arch, [edge_cfg, tpu_cfg])
+
+    def test_replaced_platform_invalidates_grid_cache(self):
+        arch = NetworkArch.from_indices(SPACE, [0] * SPACE.num_layers)
+        try:
+            register_platform(_tmp_platform("test-grid"))
+            first = evaluate_network_space(arch, platform="test-grid")
+            assert len(first.configs) == 3 * 3 * 2 * 3
+            wider = _tmp_platform("test-grid")
+            wider = Platform(
+                **{
+                    **{f: getattr(wider, f) for f in wider.__dataclass_fields__},
+                    "pe_rows_range": (2, 3, 4, 5, 6),
+                }
+            )
+            register_platform(wider, replace=True)
+            second = evaluate_network_space(arch, platform="test-grid")
+            assert len(second.configs) == 5 * 3 * 2 * 3
+        finally:
+            unregister_platform("test-grid")
+
+
+class TestPlatformSearchParity:
+    """Reduced-epoch fleet-vs-scalar parity on every platform."""
+
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_fleet_matches_scalar(self, name, small_estimators):
+        estimator = small_estimators[name]
+        bound = LATENCY_BOUND.get(name, 1e9)
+        configs = [
+            SearchConfig(
+                seed=s,
+                epochs=10,
+                constraints=ConstraintSet.latency(bound),
+                platform=name,
+            )
+            for s in (0, 1)
+        ]
+        scalar = [CoExplorer(SPACE, estimator, c).search() for c in configs]
+        fleet = run_many(SPACE, estimator, configs)
+        for s, f in zip(scalar, fleet):
+            assert f.arch == s.arch
+            assert f.config == s.config
+            assert f.metrics == s.metrics
+            assert f.platform == s.platform == name
+            assert f.config.platform == name
+            for a, b in zip(s.history, f.history):
+                assert a.__dict__ == b.__dict__
+
+    def test_cross_platform_fleet_in_one_call(self, small_estimators):
+        configs = [
+            SearchConfig(seed=0, epochs=8, hard_constraints=False, platform="edge",
+                         method_name="DANCE"),
+            SearchConfig(seed=0, epochs=8, hard_constraints=False, platform="tpu-like",
+                         method_name="DANCE"),
+            SearchConfig(seed=1, epochs=8, hard_constraints=False, platform="edge",
+                         method_name="DANCE"),
+        ]
+        results = run_many(SPACE, small_estimators, configs)
+        assert [r.platform for r in results] == ["edge", "tpu-like", "edge"]
+        for r in results:
+            plat = get_platform(r.platform)
+            assert plat.contains(r.config.pe_rows, r.config.pe_cols, r.config.rf_bytes)
+
+    def test_nas_then_hw_keeps_platform(self, small_estimators):
+        from repro.baselines import run_nas_then_hw
+
+        result = run_nas_then_hw(
+            SPACE, small_estimators["edge"], seed=0, epochs=6, platform="edge"
+        )
+        assert result.platform == "edge"
+        assert result.config.platform == "edge"
+        plat = get_platform("edge")
+        assert plat.contains(
+            result.config.pe_rows, result.config.pe_cols, result.config.rf_bytes
+        )
+
+    def test_mismatched_estimator_refused(self, small_estimators):
+        with pytest.raises(ValueError, match="pre-trained for platform"):
+            CoExplorer(
+                SPACE, small_estimators["edge"], SearchConfig(platform="tpu-like")
+            )
+
+    def test_missing_platform_estimator_refused(self, small_estimators):
+        with pytest.raises(ValueError, match="no estimator supplied"):
+            run_many(
+                SPACE,
+                {"edge": small_estimators["edge"]},
+                [SearchConfig(seed=0, epochs=2, platform="tpu-like")],
+            )
+
+    def test_structure_key_separates_platforms(self):
+        from repro.core.fleet import _structure_key
+
+        a = SearchConfig(seed=0, platform="edge")
+        b = SearchConfig(seed=1, platform="edge")
+        c = SearchConfig(seed=0, platform="tpu-like")
+        assert _structure_key(a) == _structure_key(b)
+        assert _structure_key(a) != _structure_key(c)
+
+
+class TestEstimatorCacheKeys:
+    """get_estimator must key both caches on (space, platform, seed)."""
+
+    @pytest.fixture()
+    def patched_common(self, tmp_path, monkeypatch):
+        from repro.experiments import common
+
+        def fake_pretrain(space, seed=0, estimator=None, platform="eyeriss", **kw):
+            from repro.estimator import CostEstimator
+
+            estimator = estimator or CostEstimator(
+                space, width=128, seed=seed, platform=platform
+            )
+            estimator.freeze()
+            return estimator
+
+        monkeypatch.setattr(common, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(common, "pretrain_estimator", fake_pretrain)
+        monkeypatch.setattr(common, "_ESTIMATORS", {})
+        return common
+
+    def test_in_process_cache_distinguishes_platform_and_seed(self, patched_common):
+        common = patched_common
+        base = common.get_estimator("cifar10")
+        assert common.get_estimator("cifar10") is base
+        other_platform = common.get_estimator("cifar10", platform="edge")
+        other_seed = common.get_estimator("cifar10", seed=1)
+        assert other_platform is not base
+        assert other_seed is not base
+        assert other_platform.platform == "edge"
+
+    def test_disk_cache_paths_are_distinct(self, patched_common):
+        common = patched_common
+        common.get_estimator("cifar10")
+        common.get_estimator("cifar10", platform="edge")
+        common.get_estimator("cifar10", seed=2)
+        paths = {
+            common._cache_path("cifar10"),
+            common._cache_path("cifar10", "edge", 0),
+            common._cache_path("cifar10", "eyeriss", 2),
+        }
+        assert len(paths) == 3
+        for path in paths:
+            assert os.path.exists(path), path
+
+    def test_cache_dir_is_absolute(self):
+        from repro.experiments import common
+
+        assert os.path.isabs(common.CACHE_DIR)
+
+
+class TestSerializationRoundTrip:
+    def _edge_result(self):
+        from repro.accelerator import HardwareMetrics
+        from repro.core import SearchResult
+
+        plat = get_platform("edge")
+        arch = NetworkArch.from_indices(SPACE, [1] * SPACE.num_layers)
+        config = plat.config(8, 8, 32, Dataflow.RS)
+        metrics = evaluate_network(arch, config)
+        return SearchResult(
+            arch=arch,
+            config=config,
+            metrics=metrics,
+            error_percent=5.0,
+            loss_nas=0.7,
+            cost=3.0,
+            constraints=ConstraintSet.latency(200.0),
+            in_constraint=True,
+            method="HDX",
+            platform="edge",
+        )
+
+    def test_platform_round_trips(self, tmp_path):
+        from repro.serialize import load_result, save_result
+
+        path = str(tmp_path / "edge.json")
+        result = self._edge_result()
+        save_result(result, path)
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["platform"] == "edge"
+        assert raw["config"]["platform"] == "edge"
+        restored = load_result(path, SPACE)
+        assert restored.platform == "edge"
+        assert restored.config == result.config
+        assert restored.config.platform == "edge"
+
+    def test_legacy_results_default_to_eyeriss(self):
+        from repro.serialize import config_from_dict, result_from_dict, result_to_dict
+
+        data = result_to_dict(self._edge_result())
+        # Simulate a pre-platform artifact.
+        data.pop("platform")
+        data["config"].pop("platform")
+        data["config"].update(pe_rows=14, pe_cols=12, rf_bytes=64)
+        restored = result_from_dict(data, SPACE)
+        assert restored.platform == "eyeriss"
+        assert restored.config.platform == "eyeriss"
+        assert config_from_dict(
+            {"pe_rows": 16, "pe_cols": 16, "rf_bytes": 64, "dataflow": "RS"}
+        ).platform == "eyeriss"
+
+
+class TestCliPlatform:
+    def test_parser_accepts_platform(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["search", "--latency", "16.6", "--platform", "edge"])
+        assert args.platform == "edge"
+        args = parser.parse_args(["evaluate", "--result", "r.json"])
+        assert args.platform is None
+
+    def test_parser_rejects_unknown_platform(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--platform", "nope"])
+
+    def test_hwsearch_on_edge(self, capsys):
+        from repro.cli import main
+
+        indices = ",".join(["0"] * SPACE.num_layers)
+        code = main(
+            ["hwsearch", "--space", "cifar10", "--indices", indices,
+             "--platform", "edge"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "edge" in out
+
+    def test_search_and_roundtrip_on_edge(self, tmp_path, capsys, monkeypatch,
+                                          small_estimators):
+        from repro.cli import main
+        from repro.experiments import common
+        from repro.serialize import load_result
+
+        # Route the CLI's get_estimator to the small pre-trained fixture
+        # so the test does not pay full pre-training.
+        monkeypatch.setitem(
+            common._ESTIMATORS, ("cifar10", "edge", 0), small_estimators["edge"]
+        )
+        out = str(tmp_path / "edge.json")
+        code = main([
+            "search", "--method", "dance", "--platform", "edge",
+            "--epochs", "8", "--output", out,
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "[DANCE]" in stdout
+        restored = load_result(out, SPACE)
+        assert restored.platform == "edge"
+        assert restored.config.platform == "edge"
+        code = main(["evaluate", "--result", out])
+        assert code == 0
+        assert "edge" in capsys.readouterr().out
+        code = main(["report", "--result", out])
+        assert code == 0
+        assert "Mapping report" in capsys.readouterr().out
