@@ -6,7 +6,9 @@ NumPy: autodiff engine, NN library, NAS supernet, a registry of
 hardware platforms (Eyeriss-style default plus edge and TPU-like
 targets) with per-platform analytical cost models, learned
 estimator/generator, the HDX gradient manipulation, baselines, and the
-full experiment/benchmark harness.
+full experiment/benchmark harness, topped by an experiment runtime
+(content-addressed run store, multiprocess fleet sharding, resumable
+drivers — ``repro/runtime/``).
 
 See README.md for usage and DESIGN.md for the system inventory.
 """

@@ -1,10 +1,12 @@
-"""Thin method wrappers around :class:`~repro.core.CoExplorer`.
+"""Thin method wrappers around the co-exploration engine.
 
 Each method is just a :class:`SearchConfig` shape; the ``*_config``
-factories are the single source of truth, shared by the scalar
-``run_*`` wrappers and by fleet-batched callers (experiments, the
-meta-search) that collect many configs and dispatch them through
-:func:`repro.core.run_many` at once.
+factories are the single source of truth, shared by the one-shot
+``run_*`` wrappers and by manifest-building callers (experiments, the
+meta-search) that collect many configs at once.  Both paths dispatch
+through the runtime scheduler (:func:`repro.runtime.dispatch_many`),
+so even a single wrapped search is deduped against the run store and
+obeys the active jobs/store context.
 """
 
 from __future__ import annotations
@@ -13,8 +15,9 @@ from typing import Optional
 
 from repro.accelerator import cost_hw, exhaustive_search
 from repro.arch import SearchSpace
-from repro.core import CoExplorer, ConstraintSet, SearchConfig, SearchResult
+from repro.core import ConstraintSet, SearchConfig, SearchResult
 from repro.estimator import CostEstimator
+from repro.runtime import dispatch_many
 from repro.surrogate import AccuracySurrogate
 
 #: GPU-hours per search, matching the per-search costs implied by the
@@ -175,7 +178,7 @@ def run_hdx(
 ) -> SearchResult:
     """The proposed hard-constrained co-exploration."""
     config = hdx_config(constraints, lambda_cost=lambda_cost, seed=seed, p=p, **overrides)
-    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    return dispatch_many(space, [config], estimator=estimator, surrogate=surrogate)[0]
 
 
 def run_dance(
@@ -191,7 +194,7 @@ def run_dance(
     config = dance_config(
         lambda_cost=lambda_cost, seed=seed, constraints=constraints, **overrides
     )
-    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    return dispatch_many(space, [config], estimator=estimator, surrogate=surrogate)[0]
 
 
 def run_dance_soft(
@@ -212,7 +215,7 @@ def run_dance_soft(
         seed=seed,
         **overrides,
     )
-    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    return dispatch_many(space, [config], estimator=estimator, surrogate=surrogate)[0]
 
 
 def run_autonba(
@@ -238,7 +241,7 @@ def run_autonba(
         soft_lambda=soft_lambda,
         **overrides,
     )
-    return CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    return dispatch_many(space, [config], estimator=estimator, surrogate=surrogate)[0]
 
 
 def run_nas_then_hw(
@@ -263,5 +266,5 @@ def run_nas_then_hw(
         constraints=constraints,
         **overrides,
     )
-    result = CoExplorer(space, estimator, config, surrogate=surrogate).search()
+    result = dispatch_many(space, [config], estimator=estimator, surrogate=surrogate)[0]
     return finalize_nas_then_hw(result, constraints)

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro report     --result out.json
     python -m repro hwsearch   --space cifar10 --indices 0,1,2,... [--platform edge]
     python -m repro experiment --name fig1|table1|fig3|table2|fig4|table3|fig5
+    python -m repro runs       ls|gc|invalidate [--store DIR]
 
 ``search`` runs an HDX (or baseline) co-exploration and writes the
 result JSON; ``evaluate``/``report`` re-check a saved result against
@@ -14,6 +15,16 @@ the analytical ground truth; ``experiment`` regenerates a paper
 table/figure.  ``--platform`` selects a registered hardware target
 (default ``eyeriss``); ``evaluate``/``report`` default to the
 platform stored in the result JSON.
+
+``search`` and ``experiment`` accept the runtime-layer flags:
+``--jobs N`` shards cache-missing searches across N worker processes
+(bitwise identical to single-process execution), ``--store [DIR]``
+enables the content-addressed run store (repeats are served from
+disk; default directory ``<cache>/runs``), ``--no-store`` disables a
+store configured via ``$REPRO_RUN_STORE``, and ``--rerun`` forces
+re-execution while still refreshing the store.  ``runs`` inspects a
+store: ``ls`` lists records, ``gc`` drops stale-engine records and
+temp files, ``invalidate`` deletes by key prefix or ``--all``.
 """
 
 from __future__ import annotations
@@ -62,6 +73,56 @@ def _add_platform_arg(parser: argparse.ArgumentParser, default: Optional[str]) -
     )
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard searches across N worker processes",
+    )
+    parser.add_argument(
+        "--store", nargs="?", const="__default__", default=None, metavar="DIR",
+        help="enable the run store (optionally at DIR; default <cache>/runs)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the run store even if $REPRO_RUN_STORE is set",
+    )
+    parser.add_argument(
+        "--rerun", action="store_true",
+        help="execute even on store hits (refreshes stored results)",
+    )
+    parser.add_argument(
+        "--no-rerun", action="store_true",
+        help="serve store hits even if $REPRO_RERUN is set",
+    )
+
+
+def _runtime_context_from(args):
+    from repro.runtime import default_store_dir, runtime_context
+
+    store = None  # None = inherit the environment-configured store
+    if getattr(args, "no_store", False):
+        store = False
+    elif args.store is not None:
+        store = default_store_dir() if args.store == "__default__" else args.store
+    rerun = None  # None = inherit $REPRO_RERUN
+    if getattr(args, "no_rerun", False):
+        rerun = False
+    elif args.rerun:
+        rerun = True
+    return runtime_context(jobs=args.jobs, store=store, rerun=rerun)
+
+
+def _print_runtime_report() -> None:
+    """Summarize every dispatch of the scope (a driver like table1
+    issues one per meta-search round, not just the last one)."""
+    from repro.runtime import active_context, aggregate_report
+
+    report = aggregate_report()
+    context = active_context()
+    if report and (context.store is not None or context.jobs > 1):
+        print(report.summary())
+
+
 def _constraints_from(args) -> ConstraintSet:
     bounds = {}
     for metric in ("latency", "energy", "area"):
@@ -77,29 +138,31 @@ def cmd_search(args) -> int:
     space = get_space(args.space)
     estimator = get_estimator(args.space, platform=args.platform)
     constraints = _constraints_from(args)
-    if args.method == "hdx":
-        if not constraints:
-            print("error: hdx requires at least one constraint", file=sys.stderr)
-            return 2
-        result = run_hdx(
-            space, estimator, constraints, lambda_cost=args.lambda_cost,
-            seed=args.seed, epochs=args.epochs, platform=args.platform,
-        )
-    elif args.method == "dance":
-        result = run_dance(
-            space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
-            constraints=constraints, epochs=args.epochs, platform=args.platform,
-        )
-    elif args.method == "dance-soft":
-        result = run_dance_soft(
-            space, estimator, constraints, lambda_cost=args.lambda_cost,
-            seed=args.seed, epochs=args.epochs, platform=args.platform,
-        )
-    else:
-        result = run_autonba(
-            space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
-            constraints=constraints, epochs=args.epochs, platform=args.platform,
-        )
+    with _runtime_context_from(args):
+        if args.method == "hdx":
+            if not constraints:
+                print("error: hdx requires at least one constraint", file=sys.stderr)
+                return 2
+            result = run_hdx(
+                space, estimator, constraints, lambda_cost=args.lambda_cost,
+                seed=args.seed, epochs=args.epochs, platform=args.platform,
+            )
+        elif args.method == "dance":
+            result = run_dance(
+                space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
+                constraints=constraints, epochs=args.epochs, platform=args.platform,
+            )
+        elif args.method == "dance-soft":
+            result = run_dance_soft(
+                space, estimator, constraints, lambda_cost=args.lambda_cost,
+                seed=args.seed, epochs=args.epochs, platform=args.platform,
+            )
+        else:
+            result = run_autonba(
+                space, estimator, lambda_cost=args.lambda_cost, seed=args.seed,
+                constraints=constraints, epochs=args.epochs, platform=args.platform,
+            )
+        _print_runtime_report()
     print(result.summary())
     if args.output:
         save_result(result, args.output)
@@ -158,7 +221,37 @@ def cmd_experiment(args) -> int:
         "fig5": (experiments.run_fig5, experiments.render_fig5),
     }
     run, render = runners[args.name]
-    print(render(run()))
+    with _runtime_context_from(args):
+        rows = run()
+        _print_runtime_report()
+    print(render(rows))
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from repro.runtime import RunStore, default_store_dir
+
+    store = RunStore(args.store or default_store_dir())
+    if args.action == "ls":
+        entries = store.ls()
+        for e in entries:
+            flag = "STALE" if e.stale else "ok"
+            print(f"{e.key}  {e.method:<10} {e.platform:<8} {e.space:<8} {flag}")
+        print(f"{len(entries)} record(s) in {store.root}")
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        print(f"removed {removed} stale record(s) from {store.root}")
+        return 0
+    # invalidate
+    if args.all:
+        removed = store.clear()
+    elif args.key:
+        removed = store.invalidate(args.key)
+    else:
+        print("error: invalidate needs --key PREFIX or --all", file=sys.stderr)
+        return 2
+    print(f"invalidated {removed} record(s) in {store.root}")
     return 0
 
 
@@ -177,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write result JSON here")
     _add_constraint_args(p)
     _add_platform_arg(p, default="eyeriss")
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("evaluate", help="re-check a saved result")
@@ -199,7 +293,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("--name", required=True,
                    choices=("fig1", "table1", "fig3", "table2", "fig4", "table3", "fig5"))
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("runs", help="inspect/maintain the run store")
+    p.add_argument("action", choices=("ls", "gc", "invalidate"))
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="store directory (default: $REPRO_RUN_STORE or <cache>/runs)")
+    p.add_argument("--key", default=None, help="key prefix to invalidate")
+    p.add_argument("--all", action="store_true", help="invalidate every record")
+    p.set_defaults(func=cmd_runs)
     return parser
 
 

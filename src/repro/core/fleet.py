@@ -759,6 +759,12 @@ def run_many(
     structural group instead of N sequential scalar searches.  Pass a
     ``{platform: estimator}`` mapping to run a cross-platform fleet
     (same network space, K hardware targets) in one call.
+
+    Results always come back in **request order**, however the configs
+    scatter across structure groups — the runtime scheduler's merge
+    step (``repro/runtime/scheduler.py``) and every driver rely on
+    this; ``tests/test_runtime.py`` pins it with a structure-shuffled
+    manifest.
     """
     return SearchFleet(
         space, estimator, configs, surrogate=surrogate, dataset=dataset

@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to lock-free (single-process)
+    fcntl = None
 
 from repro.accelerator.platform import as_platform
 from repro.arch import SearchSpace, cifar_space, imagenet_space
@@ -44,6 +50,47 @@ def _cache_path(name: str, platform: str = "eyeriss", seed: int = 0) -> str:
     return os.path.join(CACHE_DIR, f"estimator_{name}_{platform}_s{seed}.npz")
 
 
+@contextmanager
+def _cache_write_lock(path: str):
+    """Exclusive advisory lock guarding the train-or-write section.
+
+    Concurrent scheduler workers may race to create the same estimator;
+    the lock makes exactly one of them train while the others block and
+    then load the finished file.  Lock files live next to the cache
+    entries and are harmless to delete when no worker is running.
+    """
+    if fcntl is None:
+        yield
+        return
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    with open(path + ".lock", "a+") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _load_estimator(estimator: CostEstimator, path: str) -> CostEstimator:
+    archive = np.load(path)
+    estimator.load_state_dict({k: archive[k] for k in archive.files})
+    estimator.freeze()
+    return estimator
+
+
+def _atomic_save_estimator(estimator: CostEstimator, path: str) -> None:
+    """Write the state dict via temp-file-then-rename, never in place.
+
+    Readers only ever see a complete file: either the old one or the
+    renamed new one (``os.replace`` is atomic on POSIX).  The temp name
+    must keep the ``.npz`` suffix or ``np.savez`` would append one.
+    """
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    np.savez(tmp, **estimator.state_dict())
+    os.replace(tmp, path)
+
+
 def get_estimator(
     space_name: str = "cifar10", platform: str = "eyeriss", seed: int = 0
 ) -> CostEstimator:
@@ -52,6 +99,11 @@ def get_estimator(
     Cached in-process and on disk, keyed on (space, platform, seed);
     delete ``.cache/`` to force re-training (necessary after changing
     the analytical cost model or a platform definition).
+
+    Multiprocess-safe: cache files are written atomically (temp file +
+    rename) and the train-or-write path holds a per-file lock, so
+    concurrent scheduler workers never read a half-written estimator
+    and never train the same one twice.
     """
     platform = as_platform(platform).name
     key = (space_name, platform, seed)
@@ -61,15 +113,17 @@ def get_estimator(
     path = _cache_path(space_name, platform, seed)
     estimator = CostEstimator(space, width=128, seed=seed, platform=platform)
     if os.path.exists(path):
-        archive = np.load(path)
-        estimator.load_state_dict({k: archive[k] for k in archive.files})
-        estimator.freeze()
+        # Fast path, no lock: atomic writes guarantee a complete file.
+        estimator = _load_estimator(estimator, path)
     else:
-        estimator = pretrain_estimator(
-            space, seed=seed, estimator=estimator, platform=platform
-        )
-        os.makedirs(CACHE_DIR, exist_ok=True)
-        np.savez(path, **estimator.state_dict())
+        with _cache_write_lock(path):
+            if os.path.exists(path):  # another worker trained it meanwhile
+                estimator = _load_estimator(estimator, path)
+            else:
+                estimator = pretrain_estimator(
+                    space, seed=seed, estimator=estimator, platform=platform
+                )
+                _atomic_save_estimator(estimator, path)
     _ESTIMATORS[key] = estimator
     return estimator
 

@@ -15,8 +15,8 @@ from typing import List
 import numpy as np
 
 from repro.baselines import dance_config
-from repro.core import run_many
-from repro.experiments.common import ascii_scatter, format_table, get_estimator, get_space
+from repro.experiments.common import ascii_scatter, format_table, get_space
+from repro.runtime import dispatch_many
 
 
 @dataclass
@@ -47,10 +47,11 @@ def run_fig1(
     """Run the sweep; returns one row per (lambda, seed).
 
     All (lambda, seed) cells are independent DANCE searches with the
-    same graph structure, so the whole sweep runs as one batched fleet.
+    same graph structure, so the whole sweep is one run manifest: the
+    runtime scheduler serves repeats from the run store and batches or
+    shards the misses as one fleet.
     """
     space = get_space("cifar10")
-    estimator = get_estimator("cifar10")
     cells = [
         (li, lam, seed)
         for li, lam in enumerate(lambdas)
@@ -60,7 +61,7 @@ def run_fig1(
         dance_config(lambda_cost=lam, seed=fig1_run_seed(li, seed), epochs=epochs)
         for li, lam, seed in cells
     ]
-    results = run_many(space, estimator, configs)
+    results = dispatch_many(space, configs)
     return [
         Fig1Row(
             lambda_cost=lam,

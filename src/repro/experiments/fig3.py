@@ -23,8 +23,9 @@ from repro.baselines import (
     hdx_config,
     nas_then_hw_config,
 )
-from repro.core import ConstraintSet, run_many
-from repro.experiments.common import ascii_scatter, format_table, get_estimator, get_space
+from repro.core import ConstraintSet
+from repro.experiments.common import ascii_scatter, format_table, get_space
+from repro.runtime import dispatch_many
 
 LAMBDAS = (0.001, 0.002, 0.003, 0.004, 0.005)
 CONSTRAINTS_MS = (16.6, 33.3)
@@ -42,15 +43,15 @@ class Fig3Row:
 
 
 def run_fig3(epochs: int = 150) -> List[Fig3Row]:
-    """Run all 50 fig-3 searches as one fleet dispatch.
+    """Run all 50 fig-3 searches as one runtime dispatch.
 
     The searches are mutually independent, so every config is collected
-    first and ``run_many`` batches them by method structure (NAS->HW
+    first into one manifest; the scheduler dedupes against the run
+    store and batches/shards the misses by method structure (NAS->HW
     additionally gets its exhaustive hardware phase afterwards).  Rows
     come back in the same order the sequential version produced.
     """
     space = get_space("cifar10")
-    estimator = get_estimator("cifar10")
 
     # (method, constraint, lambda, needs_hw_phase, config) per row.
     plan = []
@@ -88,7 +89,7 @@ def run_fig3(epochs: int = 150) -> List[Fig3Row]:
                  hdx_config(cs, lambda_cost=lam, seed=i, epochs=epochs))
             )
 
-    results = run_many(space, estimator, [config for *_, config in plan])
+    results = dispatch_many(space, [config for *_, config in plan])
     rows: List[Fig3Row] = []
     for (method, target, lam, hw_phase, config), result in zip(plan, results):
         if hw_phase:

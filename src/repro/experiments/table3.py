@@ -17,9 +17,10 @@ from repro.baselines import (
     hdx_config,
     nas_then_hw_config,
 )
-from repro.core import ConstraintSet, run_many
+from repro.core import ConstraintSet
 from repro.core.coexplore import LAMBDA_COST_SCALE
-from repro.experiments.common import format_table, get_estimator, get_space
+from repro.experiments.common import format_table, get_space
+from repro.runtime import dispatch_many
 
 TARGET_MS = 125.0
 
@@ -36,11 +37,11 @@ class Table3Row:
 
 def run_table3(epochs: int = 150) -> List[Table3Row]:
     space = get_space("imagenet")
-    estimator = get_estimator("imagenet")
     cs = ConstraintSet.latency(TARGET_MS)
 
     # (lambda for the loss column, needs_hw_phase, config) per row; the
-    # eight searches are independent, so one fleet dispatch covers all.
+    # eight searches are independent, so one runtime dispatch covers
+    # all (store-deduped, shardable).
     plan = []
     for penalty, seed in ((0.0, 0), (1.0, 1)):
         plan.append((0.0, True, nas_then_hw_config(
@@ -55,7 +56,7 @@ def run_table3(epochs: int = 150) -> List[Table3Row]:
         plan.append((lam, False, hdx_config(
             cs, lambda_cost=lam, seed=seed, epochs=epochs)))
 
-    results = run_many(space, estimator, [config for _, _, config in plan])
+    results = dispatch_many(space, [config for _, _, config in plan])
     rows: List[Table3Row] = []
     for (lambda_cost, hw_phase, _), result in zip(plan, results):
         if hw_phase:

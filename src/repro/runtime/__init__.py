@@ -1,0 +1,215 @@
+"""Experiment runtime: content-addressed run store + sharded scheduler.
+
+This package is the orchestration layer above the search fleet
+(DESIGN.md "Runtime layer").  Every consumer of
+:func:`repro.core.run_many` — the figure/table drivers, the
+meta-search rounds, the baseline wrappers, the CLI — dispatches
+through :func:`dispatch_many`, which consults the active
+:class:`RuntimeContext` (job count, run store, rerun flag) and routes
+the manifest through a :class:`Scheduler`:
+
+* with a store configured, previously executed runs are served from
+  disk (a repeated benchmark invocation executes 0 searches);
+* with ``jobs > 1``, cache misses shard across worker processes,
+  bitwise identical to a single-process fleet.
+
+The default context comes from the environment (``REPRO_JOBS``,
+``REPRO_RUN_STORE``, ``REPRO_RERUN``) so CI and shell users can steer
+nested drivers; :func:`runtime_context` scopes an override, and the
+CLI's ``--jobs/--store/--no-store/--rerun`` flags wrap commands in
+one.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Sequence, Union
+
+from repro.runtime.engine import ENGINE_SALT, RUN_KEY_VERSION, SCHEMA_VERSION
+from repro.runtime.keys import config_payload, estimator_fingerprint, run_key
+from repro.runtime.store import RunStore, StoreEntry
+from repro.runtime.scheduler import DispatchReport, Scheduler
+
+__all__ = [
+    "ENGINE_SALT",
+    "RUN_KEY_VERSION",
+    "SCHEMA_VERSION",
+    "config_payload",
+    "estimator_fingerprint",
+    "run_key",
+    "RunStore",
+    "StoreEntry",
+    "DispatchReport",
+    "Scheduler",
+    "RuntimeContext",
+    "default_store_dir",
+    "configure",
+    "runtime_context",
+    "active_context",
+    "dispatch_many",
+    "last_report",
+    "aggregate_report",
+]
+
+
+@dataclass
+class RuntimeContext:
+    """The dispatch settings every driver-level ``dispatch_many`` obeys.
+
+    ``reports`` collects one :class:`DispatchReport` per dispatch made
+    under this context, so multi-dispatch drivers (table1 issues one
+    dispatch per meta-search round) can be summarized as a whole via
+    :func:`aggregate_report`.
+    """
+
+    jobs: int = 1
+    store: Optional[RunStore] = None
+    rerun: bool = False
+    reports: List[DispatchReport] = dataclass_field(default_factory=list)
+
+
+def default_store_dir() -> str:
+    """``$REPRO_RUN_STORE`` if it names a path, else ``<cache>/runs``."""
+    env = os.environ.get("REPRO_RUN_STORE", "")
+    if env and env not in ("0", "1", "on", "off"):
+        return env
+    from repro.experiments.common import CACHE_DIR
+
+    return os.path.join(CACHE_DIR, "runs")
+
+
+def _resolve_store(store: Union[RunStore, str, bool, None]) -> Optional[RunStore]:
+    if store is None or store is False:
+        return None
+    if store is True:
+        return RunStore(default_store_dir())
+    if isinstance(store, str):
+        return RunStore(store)
+    return store
+
+
+def _context_from_env() -> RuntimeContext:
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    store_env = os.environ.get("REPRO_RUN_STORE", "")
+    store: Optional[RunStore] = None
+    if store_env and store_env not in ("0", "off"):
+        store = RunStore(default_store_dir())
+    rerun = os.environ.get("REPRO_RERUN", "") not in ("", "0", "off")
+    return RuntimeContext(jobs=jobs, store=store, rerun=rerun)
+
+
+_ACTIVE: Optional[RuntimeContext] = None
+_LAST_REPORT: Optional[DispatchReport] = None
+
+
+def active_context() -> RuntimeContext:
+    """The context ``dispatch_many`` currently runs under."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _context_from_env()
+    return _ACTIVE
+
+
+def configure(
+    jobs: Optional[int] = None,
+    store: Union[RunStore, str, bool, None] = None,
+    rerun: Optional[bool] = None,
+) -> RuntimeContext:
+    """Mutate the active context in place, for scripts and notebooks
+    that want a persistent setting instead of a :func:`runtime_context`
+    scope (the CLI uses the scoped form).
+
+    ``store`` accepts a :class:`RunStore`, a directory path, ``True``
+    (default directory), or ``False`` (disable); ``None`` leaves the
+    current store untouched.
+    """
+    context = active_context()
+    if jobs is not None:
+        context.jobs = max(1, int(jobs))
+    if store is not None:
+        context.store = _resolve_store(store)
+    if rerun is not None:
+        context.rerun = rerun
+    return context
+
+
+@contextmanager
+def runtime_context(
+    jobs: Optional[int] = None,
+    store: Union[RunStore, str, bool, None] = None,
+    rerun: Optional[bool] = None,
+):
+    """Scope a dispatch-context override; restores the previous one.
+
+    Also clears the last-report slot, so a report read inside the scope
+    always describes a dispatch that happened inside the scope.
+    """
+    global _ACTIVE, _LAST_REPORT
+    previous = active_context()
+    _LAST_REPORT = None
+    _ACTIVE = RuntimeContext(
+        jobs=max(1, int(jobs)) if jobs is not None else previous.jobs,
+        store=previous.store if store is None else _resolve_store(store),
+        rerun=previous.rerun if rerun is None else rerun,
+    )
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def dispatch_many(
+    space,
+    configs: Sequence,
+    estimator=None,
+    surrogate=None,
+    dataset=None,
+) -> List:
+    """Run a manifest through a scheduler under the active context.
+
+    The runtime-layer counterpart of :func:`repro.core.run_many` (same
+    result list, manifest order, seed-for-seed identical values), plus
+    store dedupe and multiprocess sharding as configured.
+    """
+    global _LAST_REPORT
+    context = active_context()
+    scheduler = Scheduler(
+        space,
+        estimator,
+        store=context.store,
+        jobs=context.jobs,
+        rerun=context.rerun,
+        surrogate=surrogate,
+        dataset=dataset,
+    )
+    results = scheduler.run(configs)
+    _LAST_REPORT = scheduler.last_report
+    context.reports.append(scheduler.last_report)
+    return results
+
+
+def last_report() -> Optional[DispatchReport]:
+    """The report of the most recent :func:`dispatch_many` call."""
+    return _LAST_REPORT
+
+
+def aggregate_report() -> Optional[DispatchReport]:
+    """All dispatches under the active context, summed into one report.
+
+    Multi-dispatch drivers (the table1 meta-search issues one dispatch
+    per tuning round) would be misrepresented by :func:`last_report`
+    alone; this is what the CLI prints.
+    """
+    reports = active_context().reports
+    if not reports:
+        return None
+    total = DispatchReport(jobs=active_context().jobs)
+    for report in reports:
+        total.requested += report.requested
+        total.store_hits += report.store_hits
+        total.executed += report.executed
+        total.stored += report.stored
+        total.shards += report.shards
+    return total

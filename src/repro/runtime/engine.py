@@ -1,0 +1,37 @@
+"""Engine identity constants shared by run keys and serialization.
+
+This is deliberately a leaf module (no repro imports): both
+:mod:`repro.serialize` and the runtime layer need these constants, and
+keeping them dependency-free avoids an import cycle between the two.
+
+``ENGINE_SALT`` names the *numerical behaviour* of the search engine.
+Two runs with identical :class:`~repro.core.SearchConfig`, platform,
+and estimator weights still produce different results if the engine's
+math changed between them — so the salt is part of every run key and
+is stamped into every serialized :class:`~repro.core.SearchResult`.
+
+Bump rule (see DESIGN.md "Runtime layer"): bump the salt whenever a
+change alters what a search *computes* without changing the
+``SearchConfig`` schema or the estimator weights — i.e. whenever any
+row of the DESIGN.md mirror table is touched (scalar/fleet search
+math, estimator/generator forwards, the surrogate, decode repair, the
+analytical cost model, a platform definition).  Do NOT bump for pure
+refactors, new config fields (the key covers every field already), or
+driver/CLI changes.  A bump makes the run store refuse every existing
+entry (they become stale-engine records, removable with
+``repro runs gc``).
+"""
+
+#: Version tag of the search engine's numerical behaviour.
+ENGINE_SALT = "hdx-engine-v1"
+
+#: Version of the serialized SearchResult JSON schema.  Files written
+#: before the field existed load as version 0 (no history, no engine
+#: stamp); the run store only trusts records at the current version
+#: carrying the current ``ENGINE_SALT``.
+SCHEMA_VERSION = 1
+
+#: Version of the run-key payload layout itself (field encoding, hash
+#: construction).  Changing how keys are computed bumps this, which —
+#: like an engine-salt bump — orphans existing store entries.
+RUN_KEY_VERSION = 1

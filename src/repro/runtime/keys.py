@@ -1,0 +1,92 @@
+"""Canonical, process-stable run keys.
+
+A *run key* is the content address of one search run: a SHA-256 over a
+canonical JSON encoding of everything the run's result depends on —
+
+* every field of the :class:`~repro.core.SearchConfig` (walked via
+  ``dataclasses.fields``, so a newly added knob automatically enters
+  the key and old keys go stale instead of aliasing);
+* the search-space name and the target platform;
+* the estimator fingerprint (a hash of the trained weights, buffers,
+  space, and platform — a re-trained estimator changes every key);
+* the engine salt and key-layout version from
+  :mod:`repro.runtime.engine`.
+
+Keys must be stable across interpreter restarts and machines, so the
+encoding never uses Python ``hash()``: floats are rendered with
+``float.hex()`` (exact, locale-independent), dicts are sorted, and the
+JSON is dumped with sorted keys and fixed separators.  Golden-hash
+tests in ``tests/test_runtime.py`` pin the layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import Dict
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSet
+from repro.core.coexplore import SearchConfig
+from repro.runtime.engine import ENGINE_SALT, RUN_KEY_VERSION
+
+
+def _canonical(value):
+    """JSON-safe, deterministic encoding of one config field value."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value).hex()
+    if isinstance(value, ConstraintSet):
+        # Constraint order is structural (it fixes the loss-graph term
+        # order), so it is preserved, not sorted.
+        return [[c.metric, float(c.bound).hex()] for c in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for a run key; "
+        f"teach repro.runtime.keys._canonical about it"
+    )
+
+
+def config_payload(config: SearchConfig) -> Dict:
+    """Canonical dict of every ``SearchConfig`` field."""
+    return {f.name: _canonical(getattr(config, f.name)) for f in fields(config)}
+
+
+def estimator_fingerprint(estimator) -> str:
+    """Content hash of a trained estimator (weights + buffers + binding).
+
+    Covers the search space name, the platform the estimator was fit
+    to, and every array in ``state_dict()`` (parameters and the target
+    normalization buffers), so re-training, re-seeding, or re-binding
+    the estimator yields a different fingerprint — and therefore
+    different run keys.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"space={estimator.space.name};platform={estimator.platform};".encode()
+    )
+    for name, array in sorted(estimator.state_dict().items()):
+        array = np.ascontiguousarray(array)
+        digest.update(f"{name}:{array.dtype.str}:{array.shape};".encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def run_key(config: SearchConfig, space: str, estimator_fingerprint: str) -> str:
+    """The content address of one search run (64 hex chars)."""
+    payload = {
+        "run_key_version": RUN_KEY_VERSION,
+        "engine": ENGINE_SALT,
+        "space": space,
+        "platform": config.platform,
+        "estimator": estimator_fingerprint,
+        "config": config_payload(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

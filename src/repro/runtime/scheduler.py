@@ -1,0 +1,307 @@
+"""The run scheduler: dedupe against the store, shard, merge.
+
+Given a manifest (an ordered list of :class:`SearchConfig`), the
+scheduler
+
+1. computes each run's content key (:mod:`repro.runtime.keys`) and
+   serves every key already in the :class:`RunStore` from disk;
+2. groups the misses by the fleet's ``_structure_key`` (only
+   structurally identical loss graphs batch together — same rule the
+   fleet itself applies);
+3. with ``jobs > 1``, splits each group into deterministic sub-batches
+   of ``ceil(len(group) / jobs)`` runs and executes the sub-batches
+   across worker processes via :class:`ProcessPoolExecutor`;
+4. merges everything back in manifest order and writes fresh results
+   to the store.
+
+Sharding parity: a sharded execution is **bitwise identical** to a
+single-process :func:`repro.core.run_many` over the same manifest.
+This is a consequence of the fleet's GEMM layout — every run occupies
+its own ``(N, 1, F)`` matmul slot, so splitting a structure group into
+sub-batches changes only the Python loop shape, not a single float —
+plus exact JSON float round-tripping on the worker boundary.  Pinned
+by ``tests/test_runtime.py`` and a CI job.
+
+Worker processes resolve estimators through
+``repro.experiments.common.get_estimator`` (the multiprocess-safe disk
+cache); the parent warms that cache before spawning workers, and
+refuses to shard a manifest whose caller-supplied estimator does not
+match the cache (a foreign estimator cannot cross the process
+boundary).  Full-fidelity runs and runs with a caller-supplied
+surrogate/dataset always execute in the parent process.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import repro.serialize as _serialize
+from repro.arch import SearchSpace
+from repro.core.coexplore import SearchConfig
+from repro.core.fleet import _structure_key, run_many
+from repro.core.result import SearchResult
+from repro.estimator.estimator import CostEstimator
+from repro.runtime.keys import estimator_fingerprint, run_key
+from repro.runtime.store import RunStore
+
+
+@dataclass
+class DispatchReport:
+    """What one scheduler dispatch did (exposed for tests/CI/CLI)."""
+
+    requested: int = 0
+    store_hits: int = 0
+    executed: int = 0
+    stored: int = 0
+    jobs: int = 1
+    shards: int = 0
+    keys: Dict[int, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"[runtime] requested={self.requested} hits={self.store_hits} "
+            f"executed={self.executed} stored={self.stored} "
+            f"jobs={self.jobs} shards={self.shards}"
+        )
+
+
+def _worker_run_shard(space_name: str, configs: List[SearchConfig]) -> List[dict]:
+    """Execute one sub-batch in a worker process.
+
+    Results cross the process boundary as serialized dicts — the JSON
+    form round-trips every float exactly (shortest-repr), so the
+    parent's reconstruction is bitwise identical to an in-process run.
+    """
+    from repro.experiments.common import get_estimator, get_space
+
+    space = get_space(space_name)
+    estimators = {
+        platform: get_estimator(space_name, platform=platform)
+        for platform in {config.platform for config in configs}
+    }
+    return [_serialize.result_to_dict(r) for r in run_many(space, estimators, configs)]
+
+
+class Scheduler:
+    """Dedupe a run manifest against the store and execute the misses.
+
+    ``estimator`` may be a single :class:`CostEstimator`, a
+    ``{platform: estimator}`` mapping, or ``None`` — in which case
+    estimators are resolved per platform from the shared estimator
+    cache (``repro.experiments.common.get_estimator``), which is what
+    every experiment driver wants and what worker processes use.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        estimator: Union[CostEstimator, Mapping[str, CostEstimator], None] = None,
+        *,
+        store: Optional[RunStore] = None,
+        jobs: int = 1,
+        rerun: bool = False,
+        surrogate=None,
+        dataset=None,
+    ) -> None:
+        self.space = space
+        self.estimator = estimator
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.rerun = rerun
+        self.surrogate = surrogate
+        self.dataset = dataset
+        self.last_report: Optional[DispatchReport] = None
+        self._fingerprints: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Estimator resolution
+    # ------------------------------------------------------------------
+    def _estimator_for(self, platform: str) -> CostEstimator:
+        if self.estimator is None:
+            from repro.experiments.common import get_estimator
+
+            return get_estimator(self.space.name, platform=platform)
+        if isinstance(self.estimator, Mapping):
+            try:
+                return self.estimator[platform]
+            except KeyError:
+                raise ValueError(
+                    f"no estimator supplied for platform {platform!r}; "
+                    f"have {sorted(self.estimator)}"
+                ) from None
+        return self.estimator
+
+    def _fingerprint(self, platform: str) -> str:
+        if platform not in self._fingerprints:
+            self._fingerprints[platform] = estimator_fingerprint(
+                self._estimator_for(platform)
+            )
+        return self._fingerprints[platform]
+
+    # ------------------------------------------------------------------
+    # The dispatch
+    # ------------------------------------------------------------------
+    def run(self, configs: Sequence[SearchConfig]) -> List[SearchResult]:
+        """Execute the manifest; results come back in manifest order."""
+        configs = list(configs)
+        report = DispatchReport(requested=len(configs), jobs=self.jobs)
+        results: List[Optional[SearchResult]] = [None] * len(configs)
+        keys: List[Optional[str]] = [None] * len(configs)
+        pending: List[int] = []
+
+        for index, config in enumerate(configs):
+            if self._cacheable(config):
+                key = run_key(
+                    config,
+                    space=self.space.name,
+                    estimator_fingerprint=self._fingerprint(config.platform),
+                )
+                keys[index] = key
+                report.keys[index] = key
+                if not self.rerun:
+                    hit = self.store.get(key, space=self.space)
+                    if hit is not None:
+                        results[index] = hit
+                        report.store_hits += 1
+                        continue
+            pending.append(index)
+
+        report.executed = len(pending)
+        if pending:
+            executed = self._execute([configs[i] for i in pending], report)
+            for index, result in zip(pending, executed):
+                results[index] = result
+                if keys[index] is not None:
+                    self.store.put(keys[index], result)
+                    report.stored += 1
+
+        self.last_report = report
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _cacheable(self, config: SearchConfig) -> bool:
+        """Only canonical surrogate-fidelity runs are content-addressed.
+
+        A caller-supplied surrogate or dataset perturbs the result in
+        ways the key does not cover, and full-fidelity runs depend on
+        the training data — those always execute and are never stored.
+        """
+        return (
+            self.store is not None
+            and self.surrogate is None
+            and self.dataset is None
+            and config.fidelity == "surrogate"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution (single-process or sharded)
+    # ------------------------------------------------------------------
+    def _execute(
+        self, configs: List[SearchConfig], report: DispatchReport
+    ) -> List[SearchResult]:
+        estimators = {
+            platform: self._estimator_for(platform)
+            for platform in {c.platform for c in configs}
+        }
+        shardable = [
+            i
+            for i, c in enumerate(configs)
+            if c.fidelity == "surrogate"
+            and self.surrogate is None
+            and self.dataset is None
+        ]
+        shards = self._plan_shards([configs[i] for i in shardable])
+        if self.jobs <= 1 or len(shards) <= 1:
+            report.shards = min(1, len(configs))
+            return run_many(
+                self.space,
+                estimators,
+                configs,
+                surrogate=self.surrogate,
+                dataset=self.dataset,
+            )
+
+        self._check_estimators_shardable(estimators)
+        results: List[Optional[SearchResult]] = [None] * len(configs)
+
+        # Full-fidelity / custom-context stragglers stay in the parent.
+        shardable_set = set(shardable)
+        local = [i for i in range(len(configs)) if i not in shardable_set]
+        if local:
+            for i, result in zip(
+                local,
+                run_many(
+                    self.space,
+                    estimators,
+                    [configs[i] for i in local],
+                    surrogate=self.surrogate,
+                    dataset=self.dataset,
+                ),
+            ):
+                results[i] = result
+
+        report.shards = len(shards) + (1 if local else 0)
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(shards)), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _worker_run_shard,
+                    self.space.name,
+                    [configs[shardable[j]] for j in shard],
+                )
+                for shard in shards
+            ]
+            for shard, future in zip(shards, futures):
+                for j, payload in zip(shard, future.result()):
+                    results[shardable[j]] = _serialize.result_from_dict(
+                        payload, self.space
+                    )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _plan_shards(self, configs: List[SearchConfig]) -> List[List[int]]:
+        """Deterministic sub-batches: group by structure, chunk by jobs.
+
+        Groups keep first-appearance order; each group is split into
+        contiguous chunks of ``ceil(len(group) / jobs)`` runs, so the
+        plan depends only on the manifest and the job count.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for index, config in enumerate(configs):
+            groups.setdefault(_structure_key(config), []).append(index)
+        shards: List[List[int]] = []
+        for members in groups.values():
+            chunk = max(1, math.ceil(len(members) / self.jobs))
+            for start in range(0, len(members), chunk):
+                shards.append(members[start : start + chunk])
+        return shards
+
+    def _check_estimators_shardable(
+        self, estimators: Mapping[str, CostEstimator]
+    ) -> None:
+        """Sharded workers rebuild estimators from the shared cache;
+        refuse if the caller's estimator is not the cached one."""
+        if self.estimator is None:
+            return
+        from repro.experiments.common import get_estimator
+
+        for platform, estimator in estimators.items():
+            cached = get_estimator(self.space.name, platform=platform)
+            if cached is estimator:
+                continue
+            if estimator_fingerprint(cached) != estimator_fingerprint(estimator):
+                raise ValueError(
+                    f"jobs={self.jobs} requires estimators from the shared "
+                    f"estimator cache (worker processes rebuild them via "
+                    f"get_estimator), but the supplied {platform!r} estimator "
+                    f"differs from the cached one; pass estimator=None or "
+                    f"run with jobs=1"
+                )

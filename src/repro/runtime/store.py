@@ -1,0 +1,181 @@
+"""Content-addressed on-disk store of search results.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one record per run key.  Each
+record wraps the full :func:`repro.serialize.result_to_dict` payload
+(including the per-epoch history, so a store hit is indistinguishable
+from a fresh run) together with the key and a creation timestamp; the
+schema version and engine salt live inside the result payload itself
+(see :mod:`repro.runtime.engine`).
+
+Writes are atomic (unique temp file in the target directory, then
+``os.replace``), so concurrent worker processes can share one store
+without ever exposing a half-written record.  Reads treat anything
+unparseable, schema-mismatched, or stamped with a different engine
+salt as a miss — stale records are never silently returned; ``gc``
+deletes them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import repro.serialize as _serialize
+from repro.runtime.engine import ENGINE_SALT, SCHEMA_VERSION
+
+
+@dataclass
+class StoreEntry:
+    """One record's metadata, as listed by :meth:`RunStore.ls`."""
+
+    key: str
+    method: str
+    platform: str
+    space: str
+    engine: Optional[str]
+    schema_version: int
+    created: float
+    path: str
+
+    @property
+    def stale(self) -> bool:
+        """True when the current engine refuses this record."""
+        return self.engine != ENGINE_SALT or self.schema_version != SCHEMA_VERSION
+
+
+class RunStore:
+    """Content-addressed store of serialized :class:`SearchResult`\\ s."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def get(self, key: str, space=None):
+        """The stored result for ``key``, or ``None`` on miss/stale."""
+        record = self._read_record(self.path_for(key))
+        if record is None or self._is_stale(record):
+            return None
+        return _serialize.result_from_dict(record["result"], space)
+
+    def __contains__(self, key: str) -> bool:
+        record = self._read_record(self.path_for(key))
+        return record is not None and not self._is_stale(record)
+
+    def ls(self) -> List[StoreEntry]:
+        """All records (including stale ones), sorted by key."""
+        entries = []
+        for path in self._record_paths():
+            record = self._read_record(path)
+            if record is None:
+                continue
+            result = record.get("result", {})
+            entries.append(
+                StoreEntry(
+                    key=record.get("key", os.path.basename(path)[: -len(".json")]),
+                    method=result.get("method", "?"),
+                    platform=result.get("platform", "?"),
+                    space=result.get("arch", {}).get("space", "?"),
+                    engine=result.get("engine"),
+                    schema_version=result.get("schema_version", 0),
+                    created=record.get("created", 0.0),
+                    path=path,
+                )
+            )
+        return sorted(entries, key=lambda e: e.key)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def put(self, key: str, result) -> str:
+        """Atomically write ``result`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        record = {
+            "key": key,
+            "created": time.time(),
+            "result": _serialize.result_to_dict(result),
+        }
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, prefix: str) -> int:
+        """Delete records whose key starts with ``prefix``; returns count."""
+        if not prefix:
+            raise ValueError("empty prefix would invalidate nothing on purpose; "
+                             "use clear() to drop the whole store")
+        removed = 0
+        for path in self._record_paths():
+            if os.path.basename(path).startswith(prefix):
+                os.remove(path)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every record; returns the count."""
+        removed = 0
+        for path in self._record_paths():
+            os.remove(path)
+            removed += 1
+        return removed
+
+    def gc(self) -> int:
+        """Delete stale records (old engine/schema, unreadable, leftover
+        temp files); returns the count removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    os.remove(path)
+                    removed += 1
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                record = self._read_record(path)
+                if record is None or self._is_stale(record):
+                    os.remove(path)
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_stale(record: dict) -> bool:
+        result = record.get("result", {})
+        return (
+            result.get("schema_version", 0) != SCHEMA_VERSION
+            or result.get("engine") != ENGINE_SALT
+        )
+
+    @staticmethod
+    def _read_record(path: str) -> Optional[dict]:
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _record_paths(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        paths = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    paths.append(os.path.join(dirpath, name))
+        return paths

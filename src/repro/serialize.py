@@ -1,19 +1,30 @@
 """JSON (de)serialization of architectures, configs, and results.
 
 Search outputs need to survive across processes (design reviews, final
-training on another machine), so every search artifact has a stable
-JSON form.
+training on another machine, the runtime layer's content-addressed run
+store), so every search artifact has a stable JSON form.
+
+Result payloads are versioned: ``schema_version`` tracks the JSON
+layout and ``engine`` stamps the search engine's numerical version
+(:data:`repro.runtime.engine.ENGINE_SALT`) the result was produced
+with.  Files written before these fields existed load as version 0
+with no engine stamp — readable, but the run store refuses them as
+stale.  The full per-epoch history round-trips exactly (JSON floats
+use shortest-repr), so a deserialized result is indistinguishable from
+a fresh run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Dict
+from typing import Dict, List
 
 from repro.accelerator import AcceleratorConfig, Dataflow, HardwareMetrics
 from repro.arch import NetworkArch, SearchSpace, cifar_space, imagenet_space
-from repro.core import ConstraintSet, SearchResult
+from repro.core import ConstraintSet, EpochRecord, SearchResult
 from repro.core.constraints import Constraint
+from repro.runtime.engine import ENGINE_SALT, SCHEMA_VERSION
 
 _SPACE_FACTORIES = {"cifar10": cifar_space, "imagenet": imagenet_space}
 
@@ -67,8 +78,18 @@ def constraints_from_dict(data: Dict) -> ConstraintSet:
     return ConstraintSet([Constraint(m, b) for m, b in data.items()])
 
 
+def history_to_list(history: List[EpochRecord]) -> List[Dict]:
+    return [dataclasses.asdict(record) for record in history]
+
+
+def history_from_list(data: List[Dict]) -> List[EpochRecord]:
+    return [EpochRecord(**record) for record in data]
+
+
 def result_to_dict(result: SearchResult) -> Dict:
     return {
+        "schema_version": SCHEMA_VERSION,
+        "engine": ENGINE_SALT,
         "method": result.method,
         "platform": result.platform,
         "arch": arch_to_dict(result.arch),
@@ -83,10 +104,14 @@ def result_to_dict(result: SearchResult) -> Dict:
         "cost": result.cost,
         "constraints": constraints_to_dict(result.constraints),
         "in_constraint": result.in_constraint,
+        "history": history_to_list(result.history),
     }
 
 
 def result_from_dict(data: Dict, space: SearchSpace = None) -> SearchResult:
+    # Version-0 files (written before ``schema_version`` existed) carry
+    # neither history nor an engine stamp; they still load fine here —
+    # only the run store refuses them.
     metrics = data["metrics"]
     return SearchResult(
         arch=arch_from_dict(data["arch"], space),
@@ -99,7 +124,7 @@ def result_from_dict(data: Dict, space: SearchSpace = None) -> SearchResult:
         cost=data["cost"],
         constraints=constraints_from_dict(data["constraints"]),
         in_constraint=data["in_constraint"],
-        history=[],
+        history=history_from_list(data.get("history", [])),
         method=data["method"],
         platform=data.get("platform", "eyeriss"),
     )

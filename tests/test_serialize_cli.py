@@ -88,6 +88,50 @@ class TestSerialization:
             raw = json.load(handle)
         assert raw["method"] == "HDX"
 
+    def test_result_dict_carries_schema_and_engine(self):
+        from repro.runtime.engine import ENGINE_SALT, SCHEMA_VERSION
+
+        data = result_to_dict(make_result())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["engine"] == ENGINE_SALT
+
+    def test_legacy_dict_loads_as_version_zero(self):
+        """Files written before the schema fields existed still load
+        (no history, no engine stamp) — only the run store refuses
+        them."""
+        data = result_to_dict(make_result())
+        del data["schema_version"]
+        del data["engine"]
+        del data["history"]
+        restored = result_from_dict(data, SPACE)
+        assert restored.method == "HDX"
+        assert restored.history == []
+
+    def test_history_roundtrips_exactly(self):
+        from repro.core import EpochRecord
+
+        result = make_result()
+        result.history = [
+            EpochRecord(
+                epoch=i,
+                loss_nas=0.1 * i + 1e-17,
+                cost_hw=7.123456789012345,
+                global_loss=0.9,
+                predicted_latency_ms=20.5,
+                predicted_energy_mj=8.25,
+                predicted_area_mm2=1.875,
+                delta=1e-2,
+                violated=bool(i % 2),
+                manipulated_alpha=False,
+                manipulated_v=True,
+            )
+            for i in range(3)
+        ]
+        restored = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result))), SPACE
+        )
+        assert restored.history == result.history
+
 
 class TestCli:
     def test_parser_subcommands(self):
