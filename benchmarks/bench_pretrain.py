@@ -1,0 +1,61 @@
+"""Measure the pretraining pipeline: dataset build + estimator training.
+
+Produces the numbers recorded in ``results/BENCH_pretrain.json``.  Run
+the same script from a seed-of-the-PR worktree for the "seed" column
+(the vectorized entry points degrade gracefully: on the seed tree the
+``backend=`` kwarg does not exist, so training is timed through the
+plain ``train_estimator`` call)::
+
+    git worktree add /tmp/seedtree <seed-commit>
+    (cd /tmp/seedtree && PYTHONPATH=src python /path/to/bench_pretrain.py)
+    PYTHONPATH=src python benchmarks/bench_pretrain.py
+
+End-to-end cold pretrain of every registered platform::
+
+    rm -rf /tmp/bench-cache
+    time REPRO_CACHE_DIR=/tmp/bench-cache python -m repro pretrain
+
+Measurements are wall-clock on one process; run on an otherwise idle
+machine and prefer the median of the repeats.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+
+from repro.arch import cifar_space
+from repro.estimator import CostEstimator, build_cost_dataset, train_estimator
+
+REPEATS = 3
+N_SAMPLES = 8000
+EPOCHS = 120
+
+
+def main() -> None:
+    space = cifar_space()
+    out = {"n_samples": N_SAMPLES, "epochs": EPOCHS, "platform": "eyeriss"}
+
+    times = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        dataset = build_cost_dataset(space, n_samples=N_SAMPLES, seed=0, platform="eyeriss")
+        times.append(round(time.perf_counter() - t0, 3))
+    out["dataset_build_s"] = times
+
+    fused = "backend" in inspect.signature(train_estimator).parameters
+    out["train_backend"] = "fused" if fused else "autodiff (seed tree)"
+    times = []
+    for _ in range(REPEATS):
+        estimator = CostEstimator(space, width=128, seed=0, platform="eyeriss")
+        t0 = time.perf_counter()
+        train_estimator(estimator, dataset, epochs=EPOCHS, seed=0)
+        times.append(round(time.perf_counter() - t0, 3))
+    out["training_s"] = times
+
+    print(json.dumps(out, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ uses Timeloop + Accelergy.
 from repro.accelerator.config import (
     DATAFLOWS,
     AcceleratorConfig,
+    ConfigBatch,
     Dataflow,
     DesignSpace,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "Dataflow",
     "DATAFLOWS",
     "AcceleratorConfig",
+    "ConfigBatch",
     "DesignSpace",
     "EnergyTable",
     "default_energy_table",

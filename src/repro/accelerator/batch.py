@@ -116,6 +116,70 @@ def _pe_set_eff(r: int, lanes: np.ndarray) -> np.ndarray:
     return np.where(r > lanes, small, packed)
 
 
+@dataclass(frozen=True)
+class _LayerVals:
+    """Numeric layer parameters, scalar (one layer, many configs) or
+    array (one flattened (pair, layer) row each, matched to per-row
+    config arrays).  Every expression consuming them is elementwise, so
+    the scalar and array instantiations are bitwise interchangeable."""
+
+    r: object  # kernel size
+    rs: object  # kernel^2, float
+    macs: object
+    oh_ow: object  # out_size^2, float
+    channels_per_group: object
+    depthwise: object  # bool or bool array
+    in_channels: object
+    out_channels: object
+    out_size: object
+    volume_w: object
+    volume_i: object
+    volume_o: object
+
+
+def _layer_vals(layer: ConvLayerDesc) -> _LayerVals:
+    """Scalar parameters of one layer, converted exactly as the
+    pre-refactor code did (int-derived floats are exact)."""
+    return _LayerVals(
+        r=layer.kernel,
+        rs=float(layer.kernel * layer.kernel),
+        macs=float(layer.macs),
+        oh_ow=float(layer.out_size * layer.out_size),
+        channels_per_group=layer.in_channels // layer.groups,
+        depthwise=layer.groups > 1,
+        in_channels=layer.in_channels,
+        out_channels=layer.out_channels,
+        out_size=layer.out_size,
+        volume_w=float(layer.weight_count),
+        volume_i=float(layer.input_count),
+        volume_o=float(layer.output_count),
+    )
+
+
+def _layer_vals_from_params(params: np.ndarray) -> _LayerVals:
+    """Array parameters from ``(R, 6)`` conv rows (see
+    :data:`repro.arch.network.CONV_FIELDS`).  All source values are
+    small exact integers, so the float products below equal the scalar
+    path's int-arithmetic-then-float conversions bit for bit."""
+    in_ch, out_ch, kernel, in_size, out_size, groups = params.T
+    cpg = in_ch / groups  # groups divides in_channels by construction
+    rs = kernel * kernel
+    return _LayerVals(
+        r=kernel,
+        rs=rs,
+        macs=out_ch * out_size * out_size * (cpg * rs),
+        oh_ow=out_size * out_size,
+        channels_per_group=cpg,
+        depthwise=groups > 1,
+        in_channels=in_ch,
+        out_channels=out_ch,
+        out_size=out_size,
+        volume_w=out_ch * cpg * rs,
+        volume_i=in_ch * in_size * in_size,
+        volume_o=out_ch * out_size * out_size,
+    )
+
+
 def _layer_arrays(
     layer: ConvLayerDesc,
     rows: np.ndarray,
@@ -126,12 +190,33 @@ def _layer_arrays(
     platform: Platform,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(latency_cycles, energy_pj) arrays across the config grid."""
-    r = layer.kernel
-    rs = float(r * r)
-    macs = float(layer.macs)
-    oh_ow = float(layer.out_size * layer.out_size)
-    channels_per_group = layer.in_channels // layer.groups
-    depthwise = layer.groups > 1
+    return _layer_rows(_layer_vals(layer), rows, cols, rf_bytes, df_index, table, platform)
+
+
+def _layer_rows(
+    vals: _LayerVals,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rf_bytes: np.ndarray,
+    df_index: np.ndarray,
+    table: EnergyTable,
+    platform: Platform,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(latency_cycles, energy_pj) arrays, elementwise over rows.
+
+    The generalized core of the mirror contract: with scalar ``vals``
+    it is the one-layer-many-configs evaluator, with array ``vals`` it
+    is the many-(pair, layer)-rows evaluator of the pair-batch oracle.
+    Depthwise/dense branches are both computed and selected per row
+    (``np.where``), which picks exactly the values the scalar branch
+    would compute.
+    """
+    r = vals.r
+    rs = vals.rs
+    macs = vals.macs
+    oh_ow = vals.oh_ow
+    channels_per_group = vals.channels_per_group
+    depthwise = vals.depthwise
     rf_words = rf_bytes / platform.word_bytes
     num_pes = rows * cols
 
@@ -142,13 +227,12 @@ def _layer_arrays(
     # ------------------------------------------------------------------
     # Utilization (mirrors timeloop._utilization)
     # ------------------------------------------------------------------
-    if depthwise:
-        ws_util = _eff(layer.out_channels, cols) * platform.ws_depthwise_penalty
-    else:
-        ws_util = _eff(layer.in_channels, rows) * _eff(layer.out_channels, cols)
-    os_util = _eff(layer.out_size, rows) * _eff(layer.out_size, cols)
+    ws_util_dw = _eff(vals.out_channels, cols) * platform.ws_depthwise_penalty
+    ws_util_dense = _eff(vals.in_channels, rows) * _eff(vals.out_channels, cols)
+    ws_util = np.where(depthwise, ws_util_dw, ws_util_dense)
+    os_util = _eff(vals.out_size, rows) * _eff(vals.out_size, cols)
     set_eff = _pe_set_eff(r, rows)
-    col_work = layer.out_size * min(layer.out_channels, 4)
+    col_work = vals.out_size * np.minimum(vals.out_channels, 4)
     rs_util = set_eff * np.minimum(1.0, _eff(col_work, cols) * 2.0) * 0.85
     util = np.where(is_ws, ws_util, np.where(is_os, os_util, rs_util))
     util = np.maximum(util, 1e-3)
@@ -160,25 +244,27 @@ def _layer_arrays(
     ws_capacity = np.minimum(1.0, rf_words / rs)
     ws_pairs = np.minimum(4.0, np.maximum(1.0, np.floor(rf_words / rs)))
     ws_reuse_w = np.maximum(1.0, oh_ow * ws_capacity)
-    if depthwise:
-        ws_reuse_i = np.minimum(4.0, rs) * ws_pairs
-        ws_reuse_o = np.ones_like(rows)
-    else:
-        spatial_i = np.minimum(float(layer.out_channels), cols)
-        ws_reuse_i = np.minimum(4.0, rs) * spatial_i * ws_pairs
-        ws_reuse_o = np.minimum(float(channels_per_group), rows)
+    spatial_i = np.minimum(vals.out_channels, cols)
+    ws_reuse_i = np.where(
+        depthwise,
+        np.minimum(4.0, rs) * ws_pairs,
+        np.minimum(4.0, rs) * spatial_i * ws_pairs,
+    )
+    ws_reuse_o = np.where(
+        depthwise, np.ones_like(rows), np.minimum(channels_per_group, rows)
+    )
     # OS
     os_capacity = np.maximum(0.25, np.minimum(1.0, rf_words / 8.0))
     os_reuse_o = np.maximum(1.0, channels_per_group * rs * os_capacity)
     os_reuse_w = np.maximum(1.0, num_pes * 0.5)
-    os_reuse_i = np.full_like(rows, min(rs, 9.0) * 2.0)
+    os_reuse_i = np.minimum(rs, 9.0) * 2.0
     # RS
     need = 2.0 * rs + r
     rs_capacity = np.maximum(0.25, np.minimum(1.0, rf_words / need))
     rs_resident = np.minimum(4.0, np.maximum(1.0, np.floor(rf_words / need)))
-    rs_reuse_w = np.maximum(1.0, 2.0 * layer.out_size * rs_capacity)
+    rs_reuse_w = np.maximum(1.0, 2.0 * vals.out_size * rs_capacity)
     rs_reuse_i = np.maximum(1.0, 2.0 * rs * rs_capacity) * r * rs_resident
-    fold = min(channels_per_group, 4)
+    fold = np.minimum(channels_per_group, 4)
     rs_reuse_o = np.maximum(1.0, rs * fold * rs_capacity)
 
     reuse_w = np.where(is_ws, ws_reuse_w, np.where(is_os, os_reuse_w, rs_reuse_w))
@@ -188,9 +274,9 @@ def _layer_arrays(
     # ------------------------------------------------------------------
     # Traffic, latency, energy (mirrors timeloop.map_layer)
     # ------------------------------------------------------------------
-    volume_w = float(layer.weight_count)
-    volume_i = float(layer.input_count)
-    volume_o = float(layer.output_count)
+    volume_w = vals.volume_w
+    volume_i = vals.volume_i
+    volume_o = vals.volume_o
 
     compute_cycles = macs / (num_pes * util)
     buffer_w = np.maximum(macs / reuse_w, volume_w)
@@ -200,7 +286,7 @@ def _layer_arrays(
 
     rf_accesses = 3.0 * macs
     working_set_bytes = (volume_w + volume_i + volume_o) * platform.word_bytes
-    refetch = max(1.0, np.sqrt(working_set_bytes / platform.global_buffer_bytes))
+    refetch = np.maximum(1.0, np.sqrt(working_set_bytes / platform.global_buffer_bytes))
     dram_accesses = (volume_w + volume_i) * refetch + volume_o
 
     avg_hops = (rows + cols) / 8.0
@@ -314,4 +400,149 @@ def _evaluate_arrays(
         latency_ms=latency_ms,
         energy_mj=energy_mj,
         area_mm2=area,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pair-batch oracle: M (network, accelerator) pairs in one program
+# ----------------------------------------------------------------------
+# ``evaluate_network_batch`` is one network across many configs; the
+# estimator-pretraining dataset is the transposed workload — thousands
+# of (network, config) *pairs*, each evaluated once.  The pair oracle
+# flattens every pair's conv layers into one row set (vectorized table
+# lookup, see ``repro.arch.network.conv_rows_from_indices``), runs
+# ``_layer_rows`` once over all of them, and segment-sums per pair.
+#
+# Parity contract: this path mirrors the *scalar* ``evaluate_network``
+# accumulation — per-layer latency is converted to ms and energy to mJ
+# **before** summation, in conv-layer order (``np.add.at`` applies its
+# additions sequentially in row order) — so every pair is bitwise
+# identical to ``evaluate_network(arch, config)`` on every registered
+# platform.  Pinned by ``tests/test_accelerator_batch.py`` and
+# ``tests/test_estimator.py``; change scalar cost/timeloop, this
+# module, and the fleet finalization together (DESIGN.md).
+
+
+@dataclass
+class PairEvaluation:
+    """Metrics of M (network, accelerator) pairs, one row each."""
+
+    latency_ms: np.ndarray
+    energy_mj: np.ndarray
+    area_mm2: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.latency_ms)
+
+    def as_matrix(self) -> np.ndarray:
+        """``(M, 3)`` columns (latency_ms, energy_mj, area_mm2) — the
+        target layout of :class:`repro.estimator.dataset.CostDataset`."""
+        return np.column_stack([self.latency_ms, self.energy_mj, self.area_mm2])
+
+
+def _evaluate_pair_arrays(
+    space,
+    indices: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    rf_bytes: np.ndarray,
+    df_index: np.ndarray,
+    energy_table: Optional[EnergyTable],
+    platform: Platform,
+) -> PairEvaluation:
+    from repro.arch.network import conv_rows_from_indices
+
+    table = energy_table or platform.energy_table
+    n_pairs = indices.shape[0]
+    params, pair_index = conv_rows_from_indices(space, indices)
+    vals = _layer_vals_from_params(params)
+    cycles, pj = _layer_rows(
+        vals,
+        rows[pair_index],
+        cols[pair_index],
+        rf_bytes[pair_index],
+        df_index[pair_index],
+        table,
+        platform,
+    )
+    # Scalar accumulation order: ms/mJ per layer, summed in layer order.
+    layer_ms = cycles / (platform.clock_mhz * 1e3)
+    layer_mj = pj * 1e-9
+    latency = np.zeros(n_pairs)
+    energy = np.zeros(n_pairs)
+    np.add.at(latency, pair_index, layer_ms)
+    np.add.at(energy, pair_index, layer_mj)
+    pe_area = rows * cols * (platform.pe_base_mm2 + platform.rf_mm2_per_byte * rf_bytes)
+    area = pe_area + platform.global_buffer_mm2 + platform.noc_mm2_per_lane * (rows + cols)
+    return PairEvaluation(latency_ms=latency, energy_mj=energy, area_mm2=area)
+
+
+def evaluate_pairs_from_indices(
+    space,
+    indices: np.ndarray,
+    configs: "ConfigBatch",
+    energy_table: Optional[EnergyTable] = None,
+) -> PairEvaluation:
+    """Pair oracle on raw arrays: ``(M, L)`` index matrix + config batch.
+
+    The zero-per-sample-Python entry used by the dataset builder; pair
+    ``i`` is bitwise identical to
+    ``evaluate_network(NetworkArch.from_indices(space, indices[i]),
+    configs.configs()[i])``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.shape[0] != len(configs):
+        raise ValueError(
+            f"{indices.shape[0]} architectures vs {len(configs)} configs; "
+            f"the pair oracle wants one config per network"
+        )
+    plat = as_platform(configs.platform)
+    return _evaluate_pair_arrays(
+        space,
+        indices,
+        configs.pe_rows.astype(float),
+        configs.pe_cols.astype(float),
+        configs.rf_bytes.astype(float),
+        np.asarray(configs.df_index, dtype=np.int64),
+        energy_table,
+        plat,
+    )
+
+
+def evaluate_pairs(
+    archs: Sequence[NetworkArch],
+    configs: Sequence[AcceleratorConfig],
+    energy_table: Optional[EnergyTable] = None,
+    platform: Optional[Platform] = None,
+) -> PairEvaluation:
+    """Pair oracle on objects: ``archs[i]`` on ``configs[i]`` for all i.
+
+    Convenience wrapper over :func:`evaluate_pairs_from_indices` for
+    callers holding materialized networks/configs; all pairs must share
+    one search space and one platform (like ``evaluate_network_batch``).
+    """
+    if len(archs) != len(configs):
+        raise ValueError(
+            f"{len(archs)} architectures vs {len(configs)} configs; "
+            f"the pair oracle wants one config per network"
+        )
+    if not archs:
+        raise ValueError("evaluate_pairs needs at least one pair")
+    space = archs[0].space
+    foreign = [a for a in archs if a.space is not space]
+    if foreign:
+        raise ValueError("pair batch mixes search spaces; evaluate one per batch")
+    if platform is None:
+        platform = configs[0].platform
+    plat = as_platform(platform)
+    mixed = {c.platform for c in configs} - {plat.name}
+    if mixed:
+        raise ValueError(
+            f"config batch mixes platforms {sorted(mixed)} with {plat.name!r}; "
+            f"evaluate one platform per batch"
+        )
+    indices = np.array([arch.to_indices() for arch in archs], dtype=np.int64)
+    rows, cols, rf_bytes, df_index = _config_arrays(configs)
+    return _evaluate_pair_arrays(
+        space, indices, rows, cols, rf_bytes, df_index, energy_table, plat
     )

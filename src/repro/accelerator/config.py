@@ -128,6 +128,63 @@ class AcceleratorConfig:
         return 3 + len(DATAFLOWS)
 
 
+@dataclass
+class ConfigBatch:
+    """``n`` accelerator configurations of one platform as plain arrays.
+
+    The structure-of-arrays twin of ``List[AcceleratorConfig]``:
+    :meth:`DesignSpace.sample_batch` produces it, the pair-batch oracle
+    (:func:`repro.accelerator.batch.evaluate_pairs_from_indices`) and
+    the batched vector encoding consume it without touching per-config
+    Python objects.  ``df_index`` indexes :data:`DATAFLOWS`.
+    """
+
+    pe_rows: np.ndarray  # (n,) int
+    pe_cols: np.ndarray  # (n,) int
+    rf_bytes: np.ndarray  # (n,) int
+    df_index: np.ndarray  # (n,) int into DATAFLOWS
+    platform: str = "eyeriss"
+
+    def __len__(self) -> int:
+        return len(self.pe_rows)
+
+    def to_vectors(self) -> np.ndarray:
+        """Batched relaxed encoding: ``(n, 6)``, rows bitwise equal to
+        ``AcceleratorConfig.to_vector()`` of the matching config."""
+        plat = _resolve(self.platform)
+        rows_range, cols_range = plat.pe_rows_range, plat.pe_cols_range
+        rf_options = np.asarray(plat.rf_bytes_options)
+        rows01 = (self.pe_rows - rows_range[0]) / (rows_range[-1] - rows_range[0])
+        cols01 = (self.pe_cols - cols_range[0]) / (cols_range[-1] - cols_range[0])
+        rf_idx = np.searchsorted(rf_options, self.rf_bytes)
+        in_options = (rf_idx < len(rf_options)) & (
+            rf_options[np.minimum(rf_idx, len(rf_options) - 1)] == self.rf_bytes
+        )
+        if not np.all(in_options):
+            bad = int(np.asarray(self.rf_bytes)[~in_options][0])
+            raise ValueError(
+                f"rf_bytes {bad} not in {tuple(plat.rf_bytes_options)} "
+                f"(platform {plat.name!r})"
+            )
+        rf01 = rf_idx / (len(rf_options) - 1)
+        onehot = np.zeros((len(self), len(DATAFLOWS)))
+        onehot[np.arange(len(self)), self.df_index] = 1.0
+        return np.concatenate(
+            [rows01[:, None], cols01[:, None], rf01[:, None], onehot], axis=1
+        )
+
+    def configs(self) -> List[AcceleratorConfig]:
+        """Materialize the batch as config objects (tests / interop)."""
+        return [
+            AcceleratorConfig(
+                int(r), int(c), int(rf), DATAFLOWS[int(d)], platform=self.platform
+            )
+            for r, c, rf, d in zip(
+                self.pe_rows, self.pe_cols, self.rf_bytes, self.df_index
+            )
+        ]
+
+
 class DesignSpace:
     """Enumeration and sampling over one platform's configurations."""
 
@@ -159,3 +216,34 @@ class DesignSpace:
 
     def sample_many(self, n: int, rng: np.random.Generator) -> List[AcceleratorConfig]:
         return [self.sample(rng) for _ in range(n)]
+
+    def sample_bounds(self) -> np.ndarray:
+        """Per-draw bounds of one :meth:`sample` call, in draw order."""
+        return np.array(
+            [len(self.rows), len(self.cols), len(self.rf_options), len(self.dataflows)],
+            dtype=np.int64,
+        )
+
+    def batch_from_draws(self, draws: np.ndarray) -> ConfigBatch:
+        """Decode ``(n, 4)`` dimension-index draws into a :class:`ConfigBatch`."""
+        draws = np.asarray(draws, dtype=np.int64)
+        return ConfigBatch(
+            pe_rows=np.asarray(self.rows, dtype=np.int64)[draws[:, 0]],
+            pe_cols=np.asarray(self.cols, dtype=np.int64)[draws[:, 1]],
+            rf_bytes=np.asarray(self.rf_options, dtype=np.int64)[draws[:, 2]],
+            df_index=draws[:, 3],
+            platform=self.platform.name,
+        )
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> ConfigBatch:
+        """Draw ``n`` configurations as one vectorized sample.
+
+        Stream-equivalent to ``sample_many(n, rng)``: same designs,
+        same final generator state (``rng.choice`` on a value list and
+        ``rng.integers`` on its length consume identically; see
+        :mod:`repro.rng`).
+        """
+        from repro.rng import bounded_integers_batch
+
+        bounds = np.broadcast_to(self.sample_bounds(), (n, 4))
+        return self.batch_from_draws(bounded_integers_batch(rng, bounds))

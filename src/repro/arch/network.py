@@ -85,6 +85,25 @@ class NetworkArch:
         indices = [rng.integers(0, len(spec.candidates())) for spec in space.layers]
         return cls.from_indices(space, indices)
 
+    @classmethod
+    def random_batch(
+        cls, space: SearchSpace, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``n`` architectures as one ``(n, L)`` index matrix.
+
+        Stream-equivalent to ``n`` sequential :meth:`random` calls with
+        the same generator: row ``i`` equals
+        ``NetworkArch.random(space, rng).to_indices()`` of the ``i``-th
+        sequential call, and the generator ends in the same state
+        (see :mod:`repro.rng`).  Rows feed :meth:`from_indices` and the
+        batched encoders/oracle directly — no per-sample objects.
+        """
+        from repro.rng import bounded_integers_batch
+
+        counts = space.candidate_count_array()
+        bounds = np.broadcast_to(counts, (n, space.num_layers))
+        return bounded_integers_batch(rng, bounds)
+
     def to_indices(self) -> List[int]:
         out = []
         for spec, choice in zip(self.space.layers, self.choices):
@@ -140,3 +159,122 @@ class NetworkArch:
 
     def __hash__(self) -> int:
         return hash((id(self.space), self.choices))
+
+
+# ----------------------------------------------------------------------
+# Vectorized conv-layer expansion (the pair-batch oracle's front end)
+# ----------------------------------------------------------------------
+# ``conv_layers`` materializes ConvLayerDesc objects one architecture at
+# a time; the pair-batch oracle needs the same expansion for thousands
+# of architectures with zero per-sample Python.  Every candidate choice
+# expands to a fixed, space-static list of at most three convolutions
+# (expand 1x1, depthwise kxk, project 1x1), so the expansion of a whole
+# batch is a table lookup: precompute per (layer, choice) the stacked
+# base parameters of its convolutions, then gather with the index
+# matrix.  Row order per architecture mirrors ``conv_layers`` exactly:
+# stem first, then each layer's convolutions in expansion order —
+# the accumulation-order half of the pair-oracle parity contract.
+
+#: Column layout of a conv-parameter row (all exact small integers).
+CONV_FIELDS = ("in_channels", "out_channels", "kernel", "in_size", "out_size", "groups")
+_MAX_CONVS_PER_CHOICE = 3
+
+_CONV_TABLE_CACHE: dict = {}
+
+
+def _conv_row(layer: ConvLayerDesc) -> List[float]:
+    return [
+        layer.in_channels,
+        layer.out_channels,
+        layer.kernel,
+        layer.in_size,
+        layer.out_size,
+        layer.groups,
+    ]
+
+
+def conv_layer_table(space: SearchSpace):
+    """``(stem_row, table, counts)`` describing every choice's expansion.
+
+    ``stem_row`` is the fixed stem convolution's parameter row (6,);
+    ``table`` is ``(L, C, 3, 6)`` with choice ``(li, ci)``'s convolution
+    rows stacked in expansion order (zero-padded); ``counts`` is
+    ``(L, C)`` with the number of valid rows (0 for skip).  Memoized
+    per space (read-only), like the encoding caches.
+    """
+    if space in _CONV_TABLE_CACHE:
+        return _CONV_TABLE_CACHE[space]
+    n_fields = len(CONV_FIELDS)
+    table = np.zeros(
+        (space.num_layers, space.num_choices, _MAX_CONVS_PER_CHOICE, n_fields)
+    )
+    counts = np.zeros((space.num_layers, space.num_choices), dtype=np.int64)
+    for li, spec in enumerate(space.layers):
+        for ci, choice in enumerate(spec.candidates()):
+            if choice.is_skip:
+                continue
+            mid = spec.in_channels * choice.expand
+            rows: List[List[float]] = []
+            if choice.expand != 1:
+                rows.append(
+                    _conv_row(ConvLayerDesc(spec.in_channels, mid, 1, 1, spec.in_size))
+                )
+            rows.append(
+                _conv_row(
+                    ConvLayerDesc(
+                        mid, mid, choice.kernel, spec.stride, spec.in_size, groups=mid
+                    )
+                )
+            )
+            rows.append(
+                _conv_row(ConvLayerDesc(mid, spec.out_channels, 1, 1, spec.out_size))
+            )
+            table[li, ci, : len(rows)] = rows
+            counts[li, ci] = len(rows)
+    stem = np.asarray(
+        _conv_row(ConvLayerDesc(3, space.stem_channels, 3, 1, space.input_size))
+    )
+    _CONV_TABLE_CACHE[space] = (stem, table, counts)
+    return _CONV_TABLE_CACHE[space]
+
+
+def conv_rows_from_indices(space: SearchSpace, indices: np.ndarray):
+    """Expand an ``(N, L)`` index matrix into flattened conv-param rows.
+
+    Returns ``(params, pair_index)``: ``params`` is ``(R, 6)`` with one
+    row per convolution (columns as in :data:`CONV_FIELDS`), and
+    ``pair_index`` maps each row to its architecture.  Rows of one
+    architecture are contiguous and ordered exactly as its
+    ``conv_layers()`` list; index values are taken modulo the per-layer
+    candidate count, matching :meth:`NetworkArch.from_indices`.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    n, n_layers = indices.shape
+    if n_layers != space.num_layers:
+        raise ValueError(
+            f"index matrix has {n_layers} layers, space has {space.num_layers}"
+        )
+    stem, table, counts = conv_layer_table(space)
+    idx = indices % space.candidate_count_array()
+    layer_axis = np.arange(space.num_layers)
+    chosen = table[layer_axis[None, :], idx]  # (N, L, 3, 6)
+    chosen_counts = counts[layer_axis[None, :], idx]  # (N, L)
+    valid = (
+        np.arange(_MAX_CONVS_PER_CHOICE)[None, None, :] < chosen_counts[:, :, None]
+    )  # (N, L, 3)
+
+    slots_per_arch = 1 + space.num_layers * _MAX_CONVS_PER_CHOICE
+    all_rows = np.concatenate(
+        [
+            np.broadcast_to(stem, (n, 1, len(CONV_FIELDS))),
+            chosen.reshape(n, -1, len(CONV_FIELDS)),
+        ],
+        axis=1,
+    )  # (N, slots, 6)
+    mask = np.concatenate(
+        [np.ones((n, 1), dtype=bool), valid.reshape(n, -1)], axis=1
+    )  # (N, slots)
+    flat_mask = mask.reshape(-1)
+    params = all_rows.reshape(-1, len(CONV_FIELDS))[flat_mask]
+    pair_index = np.repeat(np.arange(n), slots_per_arch)[flat_mask]
+    return params, pair_index

@@ -133,6 +133,21 @@ class SearchSpace:
     def candidate_counts(self) -> List[int]:
         return [len(spec.candidates()) for spec in self.layers]
 
+    def candidate_count_array(self):
+        """Per-layer candidate counts as a cached int64 array.
+
+        The batched samplers and encoders index with this on every
+        call; the array is created once per space and must be treated
+        as read-only by callers.
+        """
+        if not hasattr(self, "_candidate_count_array"):
+            import numpy as np
+
+            self._candidate_count_array = np.asarray(
+                self.candidate_counts(), dtype=np.int64
+            )
+        return self._candidate_count_array
+
     def total_architectures(self) -> int:
         total = 1
         for count in self.candidate_counts():

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro report     --result out.json
     python -m repro hwsearch   --space cifar10 --indices 0,1,2,... [--platform edge]
     python -m repro experiment --name fig1|table1|fig3|table2|fig4|table3|fig5
+    python -m repro pretrain   [--platforms eyeriss,edge] [--jobs 3]
     python -m repro runs       ls|gc|invalidate [--store DIR]
 
 ``search`` runs an HDX (or baseline) co-exploration and writes the
@@ -15,6 +16,14 @@ the analytical ground truth; ``experiment`` regenerates a paper
 table/figure.  ``--platform`` selects a registered hardware target
 (default ``eyeriss``); ``evaluate``/``report`` default to the
 platform stored in the result JSON.
+
+``pretrain`` warms the estimator caches explicitly: it pre-trains (or
+loads) the cost estimator of every requested platform, cache misses in
+parallel worker processes (``--jobs``), and reports per platform
+whether the estimator was trained or served from the cache — a second
+invocation performs zero oracle evaluations.  Non-default
+``--n-samples``/``--epochs`` budgets get their own cache files and
+never displace the canonical estimators.
 
 ``search`` and ``experiment`` accept the runtime-layer flags:
 ``--jobs N`` shards cache-missing searches across N worker processes
@@ -228,6 +237,42 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_pretrain(args) -> int:
+    from repro.estimator.dataset import DEFAULT_PRETRAIN_SAMPLES
+    from repro.experiments.common import _cache_path, warm_estimator_caches
+    from repro.runtime import runtime_context
+
+    if args.platforms in (None, "all"):
+        platforms = available_platforms()
+    else:
+        platforms = [name.strip() for name in args.platforms.split(",") if name.strip()]
+        unknown = sorted(set(platforms) - set(available_platforms()))
+        if unknown:
+            print(
+                f"error: unknown platform(s) {unknown}; "
+                f"registered: {available_platforms()}",
+                file=sys.stderr,
+            )
+            return 2
+    with runtime_context(jobs=args.jobs):
+        status = warm_estimator_caches(
+            args.space,
+            platforms=platforms,
+            seed=args.seed,
+            n_samples=args.n_samples,
+            epochs=args.epochs,
+        )
+    for platform in platforms:
+        path = _cache_path(args.space, platform, args.seed, args.n_samples, args.epochs)
+        print(f"estimator [{args.space}/{platform}/s{args.seed}]: "
+              f"{status[platform]} ({path})")
+    trained = sum(1 for s in status.values() if s == "trained")
+    cached = len(status) - trained
+    pairs = trained * (args.n_samples or DEFAULT_PRETRAIN_SAMPLES)
+    print(f"pretrain summary: trained={trained} cached={cached} oracle_pairs={pairs}")
+    return 0
+
+
 def cmd_runs(args) -> int:
     from repro.runtime import RunStore, default_store_dir
 
@@ -295,6 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fig1", "table1", "fig3", "table2", "fig4", "table3", "fig5"))
     _add_runtime_args(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("pretrain", help="warm the per-platform estimator caches")
+    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    p.add_argument(
+        "--platforms", default=None, metavar="P1,P2",
+        help="comma-separated platform names (default: all registered)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="pre-train cache misses across N worker processes",
+    )
+    p.add_argument(
+        "--n-samples", dest="n_samples", type=int, default=None,
+        help="non-canonical dataset size (gets its own cache file)",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=None,
+        help="non-canonical epoch count (gets its own cache file)",
+    )
+    p.set_defaults(func=cmd_pretrain)
 
     p = sub.add_parser("runs", help="inspect/maintain the run store")
     p.add_argument("action", choices=("ls", "gc", "invalidate"))

@@ -389,7 +389,7 @@ class _FleetGroup:
         features = np.concatenate(
             [extended_features_from_indices_batch(self.space, indices), beta], axis=1
         )
-        return self.estimator.predict_numpy_rows(features)
+        return self.estimator.predict_numpy(features)
 
     # ------------------------------------------------------------------
     # The lock-step search loop

@@ -11,7 +11,12 @@ is a composition of two residual MLPs:
   during co-exploration so it adapts to the active cost/constraints.
 """
 
-from repro.estimator.dataset import CostDataset, build_cost_dataset
+from repro.estimator.dataset import (
+    DEFAULT_PRETRAIN_EPOCHS,
+    DEFAULT_PRETRAIN_SAMPLES,
+    CostDataset,
+    build_cost_dataset,
+)
 from repro.estimator.estimator import CostEstimator
 from repro.estimator.generator import HardwareGenerator, HardwareGeneratorFleet
 from repro.estimator.training import (
@@ -21,6 +26,8 @@ from repro.estimator.training import (
 )
 
 __all__ = [
+    "DEFAULT_PRETRAIN_EPOCHS",
+    "DEFAULT_PRETRAIN_SAMPLES",
     "CostDataset",
     "build_cost_dataset",
     "CostEstimator",

@@ -87,42 +87,44 @@ class CostEstimator(nn.Module):
         index = METRIC_INDEX[name]
         return metrics[np.array([index])].reshape(())
 
-    def fleet_kernel(self):
-        """Shared-weight raw-array kernel over this (frozen) estimator.
+    def _rows_kernel(self):
+        """Shared-weight raw-array kernel over this estimator's MLP.
 
-        The search fleet differentiates through the estimator hundreds
-        of times per epoch batch; the kernel avoids per-op autodiff
-        dispatch while staying bitwise identical to :meth:`forward` on
-        ``(N, 1, in)`` inputs.  Weight arrays are shared by reference,
-        so a state-dict load is picked up automatically.
+        Weight arrays are shared by reference (training updates and
+        state-dict loads mutate them in place), so one cached kernel
+        stays valid for the estimator's whole life.
         """
-        if not self.frozen:
-            raise ValueError("fleet_kernel requires a frozen estimator")
         if self._kernel is None:
             from repro.nn import ResidualMLPKernel
 
             self._kernel = ResidualMLPKernel(mlp=self.mlp)
         return self._kernel
 
-    def predict_numpy(self, features: np.ndarray) -> np.ndarray:
-        """Batch prediction without graph construction (evaluation)."""
-        from repro.autodiff import no_grad
+    def fleet_kernel(self):
+        """Shared-weight raw-array kernel over this (frozen) estimator.
 
-        with no_grad():
-            normalized = self.forward(Tensor(features)).data
-        return np.exp(normalized * self.target_std + self.target_mean)
-
-    def predict_numpy_rows(self, features: np.ndarray) -> np.ndarray:
-        """Like :meth:`predict_numpy` but with per-row bitwise stability.
-
-        ``predict_numpy`` feeds one ``(N, in)`` GEMM whose rows may
-        differ from the scalar ``(1, in)`` result in the last ulp; this
-        variant stacks the batch as ``(N, 1, in)`` so NumPy runs one
-        GEMM per row, matching the scalar path exactly.  Used by the
-        fleet's dominant-architecture telemetry.
+        The search fleet differentiates through the estimator hundreds
+        of times per epoch batch; the kernel avoids per-op autodiff
+        dispatch while staying bitwise identical to :meth:`forward` on
+        ``(N, 1, in)`` inputs.
         """
+        if not self.frozen:
+            raise ValueError("fleet_kernel requires a frozen estimator")
+        return self._rows_kernel()
+
+    def predict_numpy(self, features: np.ndarray) -> np.ndarray:
+        """Batch prediction without graph construction (evaluation).
+
+        The one batched inference path (it absorbed the former
+        ``predict_numpy_rows``): the batch is stacked as ``(N, 1, in)``
+        so NumPy runs one GEMM per row, making every row bitwise
+        identical to a scalar ``(1, in)`` forward — the per-row
+        stability the fleet's telemetry and the scalar search loop both
+        rely on.
+        """
+        features = np.asarray(features, dtype=np.float64)
         n = len(features)
-        out, _ = self.fleet_kernel().forward(
+        out, _ = self._rows_kernel().forward(
             features.reshape(n, 1, -1), want_cache=False
         )
         normalized = out.reshape(n, -1)

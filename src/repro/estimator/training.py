@@ -1,4 +1,25 @@
-"""Estimator pre-training and accuracy reporting."""
+"""Estimator pre-training and accuracy reporting.
+
+Two interchangeable trainers live here:
+
+* ``backend="autodiff"`` — the reference implementation: builds the
+  graph through :mod:`repro.autodiff` every minibatch and steps
+  :class:`repro.nn.Adam`.
+* ``backend="fused"`` (default) — a closed-form forward/backward/Adam
+  kernel in raw NumPy, the pre-training twin of the search fleet's
+  hand-written VJPs.  It performs the *same NumPy operations in the
+  same order* as the autodiff engine (relu as ``z * (z > 0)``, weight
+  VJPs as ``transpose(swapaxes(x) @ g)``, the engine's single-row
+  outer-product special case, two-term gradient accumulations), so
+  per-epoch losses and final weights are **bitwise identical** — the
+  graph bookkeeping is all it removes.
+
+Change-both rule: any change to :class:`repro.nn.ResidualMLP`,
+:mod:`repro.autodiff.ops`, or :class:`repro.nn.Adam` must be mirrored
+in :class:`_FusedMLPTrainer`; ``tests/test_estimator.py`` pins the
+loss- and weight-level equivalence (see DESIGN.md "Pretraining
+pipeline").
+"""
 
 from __future__ import annotations
 
@@ -9,8 +30,15 @@ import numpy as np
 from repro import nn
 from repro.autodiff import Tensor
 from repro.arch import SearchSpace
-from repro.estimator.dataset import CostDataset, build_cost_dataset
+from repro.estimator.dataset import (
+    DEFAULT_PRETRAIN_EPOCHS,
+    DEFAULT_PRETRAIN_SAMPLES,
+    CostDataset,
+    build_cost_dataset,
+)
 from repro.estimator.estimator import CostEstimator
+
+TRAIN_BACKENDS = ("fused", "autodiff")
 
 
 def train_estimator(
@@ -20,14 +48,32 @@ def train_estimator(
     batch_size: int = 256,
     lr: float = 1e-3,
     seed: int = 0,
+    backend: str = "fused",
 ) -> List[float]:
     """Train on normalized targets with Adam; returns per-epoch losses.
 
     The paper uses 200 epochs, batch 256, Adam lr 1e-4 on 10.8 M
     samples; the smaller default here converges on our smaller,
-    smoother dataset.
+    smoother dataset.  ``backend`` selects the fused NumPy kernel
+    (default) or the autodiff reference; both produce bitwise-identical
+    losses and weights for the same seed.
     """
+    if backend not in TRAIN_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {TRAIN_BACKENDS}")
     estimator.set_normalization(dataset.target_mean, dataset.target_std)
+    train = _train_fused if backend == "fused" else _train_autodiff
+    return train(estimator, dataset, epochs, batch_size, lr, seed)
+
+
+def _train_autodiff(
+    estimator: CostEstimator,
+    dataset: CostDataset,
+    epochs: int,
+    batch_size: int,
+    lr: float,
+    seed: int,
+) -> List[float]:
+    """Reference trainer: per-minibatch graph construction + nn.Adam."""
     optimizer = nn.Adam(estimator.parameters(), lr=lr)
     targets = dataset.normalized_targets()
     rng = np.random.default_rng(seed)
@@ -49,8 +95,216 @@ def train_estimator(
     return losses
 
 
+class _FusedMLPTrainer:
+    """Closed-form MSE/Adam training kernel over a ResidualMLP.
+
+    Operates in place on the estimator's parameter arrays (weights are
+    shared by reference, exactly like ``ResidualMLPKernel``), with the
+    autodiff engine's operation order mirrored step for step:
+
+    * forward: ``(x @ W.T + b)`` per linear, relu as ``z * (z > 0)``,
+      residual adds as ``(fc2(h1) + b2) + h_in``;
+    * loss VJP: ``mean`` spreads ``1/size``, the ``diff * diff`` node
+      accumulates its two identical contributions as ``t + t``;
+    * weight VJP: ``transpose(swapaxes(x, -1, -2) @ g)`` — including
+      the engine's broadcast-outer-product special case for single-row
+      batches — and bias VJP ``g.sum(axis=0)`` (unbroadcast);
+    * residual input gradient: ``(g @ W1) + d_skip`` (two-term float
+      adds are order-insensitive bitwise);
+    * Adam: the exact update sequence of :class:`repro.nn.Adam`.
+    """
+
+    def __init__(self, estimator: CostEstimator, lr: float) -> None:
+        mlp = estimator.mlp
+        linears = (
+            [mlp.in_proj]
+            + [fc for block in mlp.blocks for fc in (block.fc1, block.fc2)]
+            + ([mlp.extra] if mlp.extra is not None else [])
+            + [mlp.out_proj]
+        )
+        self.n_blocks = len(mlp.blocks)
+        self.has_extra = mlp.extra is not None
+        self.weights = [lin.weight.data for lin in linears]
+        self.biases = [lin.bias.data for lin in linears]
+        # Interleaved (W, b, W, b, ...) — scalar parameters() order.
+        self.params: List[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            self.params.extend([w, b])
+        self.lr = float(lr)
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        # Scratch buffers make the Adam step allocation-free; every
+        # in-place ufunc below computes the exact expression nn.Adam
+        # does (scalar multiplies commuted where needed — commutativity
+        # is bitwise for IEEE floats).
+        self._buf_a = [np.empty_like(p) for p in self.params]
+        self._buf_b = [np.empty_like(p) for p in self.params]
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray):
+        """(B, in) -> (B, out) plus the cache backward consumes."""
+        inputs: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        k = 0
+        # In-place += / *= below are the same add/mul ufuncs the engine
+        # applies out of place; only the allocations differ.
+        inputs.append(x)
+        z = x @ self.weights[k].T
+        z += self.biases[k]
+        mask = z > 0
+        h = np.multiply(z, mask, out=z)
+        masks.append(mask)
+        k += 1
+        for _ in range(self.n_blocks):
+            h_in = h
+            inputs.append(h_in)
+            z1 = h_in @ self.weights[k].T
+            z1 += self.biases[k]
+            m1 = z1 > 0
+            h1 = np.multiply(z1, m1, out=z1)
+            masks.append(m1)
+            k += 1
+            inputs.append(h1)
+            s = h1 @ self.weights[k].T
+            s += self.biases[k]
+            s += h_in
+            m2 = s > 0
+            h = np.multiply(s, m2, out=s)
+            masks.append(m2)
+            k += 1
+        if self.has_extra:
+            inputs.append(h)
+            z = h @ self.weights[k].T
+            z += self.biases[k]
+            mask = z > 0
+            h = np.multiply(z, mask, out=z)
+            masks.append(mask)
+            k += 1
+        inputs.append(h)
+        out = h @ self.weights[k].T
+        out += self.biases[k]
+        return out, (inputs, masks)
+
+    @staticmethod
+    def _weight_grad(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+        # matmul grad_b + the transpose node's VJP, verbatim — with the
+        # engine's single-row outer-product fast path.
+        if x.shape[-2] == 1:
+            return np.transpose(np.swapaxes(x, -1, -2) * g)
+        return np.transpose(np.swapaxes(x, -1, -2) @ g)
+
+    def backward(self, cache, g: np.ndarray) -> List[np.ndarray]:
+        """Gradients in parameter order for upstream ``g = d out``."""
+        inputs, masks = cache
+        n_lin = len(self.weights)
+        d_w: List[Optional[np.ndarray]] = [None] * n_lin
+        d_b: List[Optional[np.ndarray]] = [None] * n_lin
+        k = n_lin - 1
+        m = len(masks) - 1
+        d_w[k] = self._weight_grad(inputs[k], g)
+        d_b[k] = g.sum(axis=0)
+        g = g @ self.weights[k]
+        k -= 1
+        if self.has_extra:
+            g = np.multiply(g, masks[m], out=g)
+            m -= 1
+            d_w[k] = self._weight_grad(inputs[k], g)
+            d_b[k] = g.sum(axis=0)
+            g = g @ self.weights[k]
+            k -= 1
+        for _ in range(self.n_blocks):
+            g = np.multiply(g, masks[m], out=g)  # relu at the residual output
+            m -= 1
+            d_skip = g  # the skip connection's share (kept unmutated below)
+            d_w[k] = self._weight_grad(inputs[k], g)
+            d_b[k] = g.sum(axis=0)
+            g = g @ self.weights[k]
+            k -= 1
+            g = np.multiply(g, masks[m], out=g)
+            m -= 1
+            d_w[k] = self._weight_grad(inputs[k], g)
+            d_b[k] = g.sum(axis=0)
+            g = g @ self.weights[k]
+            g += d_skip
+            k -= 1
+        g = np.multiply(g, masks[m], out=g)
+        d_w[0] = self._weight_grad(inputs[0], g)
+        d_b[0] = g.sum(axis=0)
+        grads: List[np.ndarray] = []
+        for w_grad, b_grad in zip(d_w, d_b):
+            grads.extend([w_grad, b_grad])
+        return grads
+
+    def adam_step(self, grads: List[np.ndarray]) -> None:
+        """One in-place Adam update, arithmetic-identical to nn.Adam.
+
+        Scratch buffers hold what nn.Adam allocates fresh each step;
+        every expression is the same ufunc sequence (scalar factors
+        commuted onto the array operand where ``out=`` needs it)."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v, grad, buf_a, buf_b in zip(
+            self.params, self._m, self._v, grads, self._buf_a, self._buf_b
+        ):
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=buf_a)  # (1-b1) * grad
+            m += buf_a
+            v *= self.beta2
+            np.multiply(grad, 1.0 - self.beta2, out=buf_a)  # (1-b2) * grad
+            buf_a *= grad
+            v += buf_a
+            np.divide(m, bias1, out=buf_a)  # m_hat
+            np.divide(v, bias2, out=buf_b)  # v_hat
+            np.sqrt(buf_b, out=buf_b)
+            buf_b += self.eps
+            buf_a *= self.lr  # lr * m_hat (commuted)
+            np.divide(buf_a, buf_b, out=buf_a)
+            p -= buf_a
+
+
+def _train_fused(
+    estimator: CostEstimator,
+    dataset: CostDataset,
+    epochs: int,
+    batch_size: int,
+    lr: float,
+    seed: int,
+) -> List[float]:
+    """Fused trainer: one NumPy program per minibatch, zero graph ops."""
+    trainer = _FusedMLPTrainer(estimator, lr=lr)
+    targets = dataset.normalized_targets()
+    rng = np.random.default_rng(seed)
+    losses: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(len(dataset))
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            pred, cache = trainer.forward(dataset.features[idx])
+            diff = pred - targets[idx]
+            sq = diff * diff
+            loss = sq.mean()
+            # mse backward: mean spreads 1/size, the two mul-node
+            # contributions to diff accumulate as t + t.
+            g = np.broadcast_to(np.float64(1.0), sq.shape).astype(np.float64) / sq.size
+            g_diff = g * diff
+            d_pred = g_diff + g_diff
+            trainer.adam_step(trainer.backward(cache, d_pred))
+            epoch_loss += float(loss)
+            n_batches += 1
+        losses.append(epoch_loss / n_batches)
+    return losses
+
+
 def estimator_accuracy(estimator: CostEstimator, dataset: CostDataset) -> Dict[str, float]:
-    """Mean relative accuracy per metric, in [0, 1] (paper quotes >99%)."""
+    """Mean relative accuracy per metric, in [0, 1] (paper quotes >99%).
+
+    Predictions come from the one batched ``predict_numpy`` path (the
+    per-row-stable kernel shared with the search fleet)."""
     pred = estimator.predict_numpy(dataset.features)
     names = ("latency", "energy", "area")
     out = {}
@@ -62,16 +316,19 @@ def estimator_accuracy(estimator: CostEstimator, dataset: CostDataset) -> Dict[s
 
 def pretrain_estimator(
     space: SearchSpace,
-    n_samples: int = 8000,
-    epochs: int = 120,
+    n_samples: int = DEFAULT_PRETRAIN_SAMPLES,
+    epochs: int = DEFAULT_PRETRAIN_EPOCHS,
     seed: int = 0,
     estimator: Optional[CostEstimator] = None,
     platform: str = "eyeriss",
+    backend: str = "fused",
 ) -> CostEstimator:
     """Build dataset, train, freeze — the full pre-training pipeline.
 
     ``platform`` names the hardware target the training pairs are
     sampled from; a supplied ``estimator`` must already be bound to it.
+    ``n_samples`` defaults to the same canonical constant as
+    ``build_cost_dataset`` (:data:`DEFAULT_PRETRAIN_SAMPLES`).
     """
     from repro.accelerator.platform import as_platform
 
@@ -85,6 +342,6 @@ def pretrain_estimator(
     estimator = estimator or CostEstimator(
         space, width=128, seed=seed, platform=plat.name
     )
-    train_estimator(estimator, dataset, epochs=epochs, seed=seed)
+    train_estimator(estimator, dataset, epochs=epochs, seed=seed, backend=backend)
     estimator.freeze()
     return estimator

@@ -42,12 +42,39 @@ def get_space(name: str) -> SearchSpace:
     return _SPACES[name]
 
 
-def _cache_path(name: str, platform: str = "eyeriss", seed: int = 0) -> str:
+def _normalize_budget(
+    n_samples: Optional[int], epochs: Optional[int]
+) -> Tuple[Optional[int], Optional[int]]:
+    """Map an explicitly-passed canonical training budget to the
+    canonical (None) form, so ``--n-samples 8000`` warms and reuses the
+    same cache entries as the default invocation."""
+    from repro.estimator import DEFAULT_PRETRAIN_EPOCHS, DEFAULT_PRETRAIN_SAMPLES
+
+    if n_samples == DEFAULT_PRETRAIN_SAMPLES:
+        n_samples = None
+    if epochs == DEFAULT_PRETRAIN_EPOCHS:
+        epochs = None
+    return n_samples, epochs
+
+
+def _cache_path(
+    name: str,
+    platform: str = "eyeriss",
+    seed: int = 0,
+    n_samples: Optional[int] = None,
+    epochs: Optional[int] = None,
+) -> str:
+    n_samples, epochs = _normalize_budget(n_samples, epochs)
     # The default combination keeps its pre-platform filename so warm
     # caches (local .cache/, CI) survive the platform refactor.
-    if platform == "eyeriss" and seed == 0:
+    # Non-canonical training budgets (smoke runs, ablations) get their
+    # own files so they can never poison the canonical estimators.
+    suffix = ""
+    if n_samples is not None or epochs is not None:
+        suffix = f"_n{n_samples or 'dflt'}_e{epochs or 'dflt'}"
+    if platform == "eyeriss" and seed == 0 and not suffix:
         return os.path.join(CACHE_DIR, f"estimator_{name}.npz")
-    return os.path.join(CACHE_DIR, f"estimator_{name}_{platform}_s{seed}.npz")
+    return os.path.join(CACHE_DIR, f"estimator_{name}_{platform}_s{seed}{suffix}.npz")
 
 
 @contextmanager
@@ -92,11 +119,17 @@ def _atomic_save_estimator(estimator: CostEstimator, path: str) -> None:
 
 
 def get_estimator(
-    space_name: str = "cifar10", platform: str = "eyeriss", seed: int = 0
+    space_name: str = "cifar10",
+    platform: str = "eyeriss",
+    seed: int = 0,
+    n_samples: Optional[int] = None,
+    epochs: Optional[int] = None,
 ) -> CostEstimator:
     """Pre-trained, frozen cost estimator for a (space, platform) pair.
 
-    Cached in-process and on disk, keyed on (space, platform, seed);
+    Cached in-process and on disk, keyed on (space, platform, seed) —
+    plus the training budget when a non-canonical ``n_samples``/
+    ``epochs`` is requested (smoke runs get their own cache files);
     delete ``.cache/`` to force re-training (necessary after changing
     the analytical cost model or a platform definition).
 
@@ -106,11 +139,12 @@ def get_estimator(
     and never train the same one twice.
     """
     platform = as_platform(platform).name
-    key = (space_name, platform, seed)
+    n_samples, epochs = _normalize_budget(n_samples, epochs)
+    key = (space_name, platform, seed, n_samples, epochs)
     if key in _ESTIMATORS:
         return _ESTIMATORS[key]
     space = get_space(space_name)
-    path = _cache_path(space_name, platform, seed)
+    path = _cache_path(space_name, platform, seed, n_samples, epochs)
     estimator = CostEstimator(space, width=128, seed=seed, platform=platform)
     if os.path.exists(path):
         # Fast path, no lock: atomic writes guarantee a complete file.
@@ -120,12 +154,85 @@ def get_estimator(
             if os.path.exists(path):  # another worker trained it meanwhile
                 estimator = _load_estimator(estimator, path)
             else:
+                pretrain_kwargs = {}
+                if n_samples is not None:
+                    pretrain_kwargs["n_samples"] = n_samples
+                if epochs is not None:
+                    pretrain_kwargs["epochs"] = epochs
                 estimator = pretrain_estimator(
-                    space, seed=seed, estimator=estimator, platform=platform
+                    space, seed=seed, estimator=estimator, platform=platform,
+                    **pretrain_kwargs,
                 )
                 _atomic_save_estimator(estimator, path)
     _ESTIMATORS[key] = estimator
     return estimator
+
+
+def _warm_worker(
+    space_name: str,
+    platform: str,
+    seed: int,
+    n_samples: Optional[int],
+    epochs: Optional[int],
+) -> str:
+    """Build (or load) one platform's estimator in a worker process."""
+    get_estimator(space_name, platform, seed, n_samples, epochs)
+    return platform
+
+
+def warm_estimator_caches(
+    space_name: str = "cifar10",
+    platforms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    n_samples: Optional[int] = None,
+    epochs: Optional[int] = None,
+) -> Dict[str, str]:
+    """Pre-train every requested platform's estimator, in parallel.
+
+    Returns ``{platform: "trained" | "cached"}`` (judged by whether the
+    npz cache file already existed).  Cache misses train in worker
+    processes — pre-training is platform-independent work, so three
+    cold platforms cost one wall-clock pre-training — while hits load
+    in the parent.  ``jobs=None`` obeys the active
+    :class:`repro.runtime.RuntimeContext` (``REPRO_JOBS`` / ``--jobs``);
+    the per-file locks and atomic writes of :func:`get_estimator` make
+    concurrent warms from several processes safe.
+    """
+    from repro.accelerator.platform import available_platforms
+
+    if platforms is None:
+        platforms = available_platforms()
+    if jobs is None:
+        from repro.runtime import active_context
+
+        jobs = active_context().jobs
+    jobs = max(1, int(jobs))
+    n_samples, epochs = _normalize_budget(n_samples, epochs)
+    status = {
+        platform: (
+            "cached"
+            if os.path.exists(_cache_path(space_name, as_platform(platform).name,
+                                          seed, n_samples, epochs))
+            else "trained"
+        )
+        for platform in platforms
+    }
+    misses = [p for p, s in status.items() if s == "trained"]
+    if len(misses) > 1 and jobs > 1:
+        from repro.runtime import worker_pool
+
+        with worker_pool(jobs, len(misses)) as pool:
+            futures = [
+                pool.submit(_warm_worker, space_name, platform, seed, n_samples, epochs)
+                for platform in misses
+            ]
+            for future in futures:
+                future.result()
+    # Load (or train, single-miss / jobs=1 case) everything in-process.
+    for platform in platforms:
+        get_estimator(space_name, platform, seed, n_samples, epochs)
+    return status
 
 
 def get_surrogate(space_name: str = "cifar10") -> AccuracySurrogate:

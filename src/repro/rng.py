@@ -1,0 +1,80 @@
+"""Vectorized, stream-exact bounded-integer sampling.
+
+The batched samplers (``NetworkArch.random_batch``,
+``DesignSpace.sample_batch``, the dataset builder's combined draw) must
+be **stream-equivalent** to their scalar counterparts: same values,
+same final ``Generator`` state, for the same seed.  A naive
+``rng.integers(0, bounds_array)`` does not qualify — NumPy's
+array-bound path uses a different rejection algorithm than its scalar
+path, so the values (and the number of words consumed) diverge.
+
+What the scalar path actually does (``Generator.integers(0, high)``
+with ``high <= 2**32``, which covers every bound in this codebase —
+candidate counts and design-space dimension lengths): draw one 32-bit
+word ``w`` from the buffered uint32 stream and apply Lemire's
+multiply-shift rejection::
+
+    m        = w * high            # 64-bit product
+    leftover = m mod 2**32
+    if leftover < (2**32 - high) % high:   # probability high / 2**32
+        reject, draw again
+    return m >> 32
+
+:func:`bounded_integers_batch` replays exactly that: it pulls the same
+uint32 words with one vectorized full-range draw (which consumes the
+buffered half-word stream identically — pinned by tests) and applies
+the multiply-shift in NumPy.  Rejection is ~``high / 2**32`` (< 4e-9
+per draw) — when it ever triggers, the generator state is restored and
+the draw is replayed with scalar calls, which is the definitionally
+correct stream.
+
+``rng.choice(seq)`` (with ``replace=True`` and no probabilities) and
+``rng.integers(0, len(seq))`` consume identically, so sampling a value
+list reduces to sampling indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD = np.uint64(32)
+_LOW_MASK = np.uint64(0xFFFFFFFF)
+_TWO32 = np.uint64(2**32)
+
+
+def bounded_integers_batch(rng: np.random.Generator, bounds: np.ndarray) -> np.ndarray:
+    """Exactly replicate ``[rng.integers(0, b) for b in bounds.flat]``.
+
+    ``bounds`` is any integer array with every entry in ``[2, 2**32]``;
+    the result has the same shape.  Values, consumed words, and the
+    final generator state (including the buffered uint32 half-word) are
+    identical to the sequential scalar calls in C (row-major) order —
+    the stream-equivalence contract pinned by ``tests/test_estimator.py``.
+    """
+    bounds = np.asarray(bounds)
+    if bounds.size == 0:
+        return np.zeros(bounds.shape, dtype=np.int64)
+    flat = bounds.reshape(-1).astype(np.int64)
+    if flat.min() < 2 or flat.max() > 2**32:
+        # Bounds of 1 consume no word in the scalar path, and >2**32
+        # switches NumPy to the 64-bit algorithm; neither occurs in
+        # this codebase, so take the always-correct scalar route.
+        return np.array(
+            [int(rng.integers(0, int(b))) for b in flat], dtype=np.int64
+        ).reshape(bounds.shape)
+
+    state = rng.bit_generator.state
+    words = rng.integers(0, 2**32, size=flat.size, dtype=np.uint32)
+    w = words.astype(np.uint64)
+    s = flat.astype(np.uint64)
+    m = w * s  # exact: both factors < 2**32
+    leftover = m & _LOW_MASK
+    threshold = (_TWO32 - s) % s
+    if bool((leftover < threshold).any()):
+        # A rejection would interleave extra draws mid-stream; replay
+        # the whole batch scalar-for-scalar from the saved state.
+        rng.bit_generator.state = state
+        return np.array(
+            [int(rng.integers(0, int(b))) for b in flat], dtype=np.int64
+        ).reshape(bounds.shape)
+    return (m >> _WORD).astype(np.int64).reshape(bounds.shape)

@@ -44,6 +44,7 @@ __all__ = [
     "DispatchReport",
     "Scheduler",
     "RuntimeContext",
+    "worker_pool",
     "default_store_dir",
     "configure",
     "runtime_context",
@@ -68,6 +69,22 @@ class RuntimeContext:
     store: Optional[RunStore] = None
     rerun: bool = False
     reports: List[DispatchReport] = dataclass_field(default_factory=list)
+
+
+def worker_pool(jobs: int, n_tasks: int):
+    """A ``ProcessPoolExecutor`` under the runtime layer's start-method
+    policy: prefer ``fork`` where available (workers inherit warmed
+    in-process caches), workers capped at ``min(jobs, n_tasks)``.  The
+    scheduler's shard execution and the estimator cache warmer share
+    this so the policy can only ever change in one place.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=min(jobs, n_tasks), mp_context=context)
 
 
 def default_store_dir() -> str:

@@ -34,8 +34,6 @@ surrogate/dataset always execute in the parent process.
 from __future__ import annotations
 
 import math
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -203,9 +201,18 @@ class Scheduler:
     def _execute(
         self, configs: List[SearchConfig], report: DispatchReport
     ) -> List[SearchResult]:
+        platforms = {c.platform for c in configs}
+        if self.jobs > 1 and self.estimator is None:
+            # Cold estimator caches are the dominant multi-platform
+            # cold-start cost; pre-train the missing ones in parallel
+            # workers (file-locked, atomic) before the parent loads them.
+            from repro.experiments.common import warm_estimator_caches
+
+            warm_estimator_caches(
+                self.space.name, platforms=sorted(platforms), jobs=self.jobs
+            )
         estimators = {
-            platform: self._estimator_for(platform)
-            for platform in {c.platform for c in configs}
+            platform: self._estimator_for(platform) for platform in platforms
         }
         shardable = [
             i
@@ -245,12 +252,9 @@ class Scheduler:
                 results[i] = result
 
         report.shards = len(shards) + (1 if local else 0)
-        context = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(shards)), mp_context=context
-        ) as pool:
+        from repro.runtime import worker_pool
+
+        with worker_pool(self.jobs, len(shards)) as pool:
             futures = [
                 pool.submit(
                     _worker_run_shard,

@@ -105,6 +105,54 @@ class TestBatchEvaluation:
         assert np.array_equal(subset.energy_mj, full.energy_mj[100:110])
         assert np.array_equal(subset.area_mm2, full.area_mm2[100:110])
 
+    def test_pair_batch_matches_scalar_on_every_platform(self):
+        """The pair-batch oracle is the third face of the mirror
+        contract: arbitrary (network, config) pairs must be bitwise
+        identical to scalar ``evaluate_network`` per platform."""
+        from repro.accelerator.batch import evaluate_pairs
+        from repro.accelerator.platform import available_platforms
+
+        for platform in available_platforms():
+            rng = np.random.default_rng(4)
+            ds = DesignSpace(platform)
+            archs = [NetworkArch.random(SPACE, rng) for _ in range(8)]
+            configs = ds.sample_many(8, rng)
+            ev = evaluate_pairs(archs, configs)
+            for i, (arch, config) in enumerate(zip(archs, configs)):
+                truth = evaluate_network(arch, config, platform=platform)
+                assert ev.latency_ms[i] == truth.latency_ms, platform
+                assert ev.energy_mj[i] == truth.energy_mj, platform
+                assert ev.area_mm2[i] == truth.area_mm2, platform
+
+    def test_pair_batch_refuses_mixed_platforms(self):
+        from repro.accelerator.batch import evaluate_pairs
+        from repro.accelerator.config import AcceleratorConfig, Dataflow
+
+        rng = np.random.default_rng(0)
+        archs = [NetworkArch.random(SPACE, rng) for _ in range(2)]
+        configs = [
+            AcceleratorConfig(14, 12, 64, Dataflow.WS, platform="eyeriss"),
+            AcceleratorConfig(8, 8, 32, Dataflow.RS, platform="edge"),
+        ]
+        with pytest.raises(ValueError, match="mixes platforms"):
+            evaluate_pairs(archs, configs)
+
+    def test_pair_batch_repeated_arch_matches_config_batch(self):
+        """A pair batch that repeats one network across a config subset
+        must agree with the one-arch config-batch evaluator exactly
+        (they share _layer_rows; accumulation differs only in the
+        scalar-mirroring ms/mJ conversion order, which the config-batch
+        evaluator intentionally does not use)."""
+        from repro.accelerator.batch import evaluate_pairs
+
+        arch = NetworkArch.from_indices(SPACE, [3] * SPACE.num_layers)
+        configs = list(DesignSpace())[50:60]
+        pair_ev = evaluate_pairs([arch] * len(configs), configs)
+        for i, config in enumerate(configs):
+            truth = evaluate_network(arch, config)
+            assert pair_ev.latency_ms[i] == truth.latency_ms
+            assert pair_ev.energy_mj[i] == truth.energy_mj
+
     def test_much_faster_than_scalar(self):
         import time
 

@@ -1,10 +1,13 @@
 """Tests for the cost dataset, estimator, and hardware generator."""
 
+import inspect
+
 import numpy as np
 import pytest
 
 from repro.accelerator import AcceleratorConfig, DesignSpace, evaluate_network
-from repro.arch import NetworkArch, cifar_space
+from repro.accelerator.platform import available_platforms
+from repro.arch import NetworkArch, cifar_space, imagenet_space
 from repro.arch.encoding import (
     arch_features_from_indices,
     extended_feature_dim,
@@ -12,10 +15,13 @@ from repro.arch.encoding import (
 )
 from repro.autodiff import Tensor
 from repro.estimator import (
+    DEFAULT_PRETRAIN_SAMPLES,
+    CostDataset,
     CostEstimator,
     HardwareGenerator,
     build_cost_dataset,
     estimator_accuracy,
+    pretrain_estimator,
     train_estimator,
 )
 
@@ -123,6 +129,225 @@ class TestEstimator:
     def test_normalization_buffers_in_state_dict(self, trained_estimator):
         state = trained_estimator.state_dict()
         assert "target_mean" in state and "target_std" in state
+
+
+class TestBatchedSampling:
+    """Stream-equivalence contract of the vectorized samplers: same
+    values AND same final generator state as the sequential calls."""
+
+    @pytest.mark.parametrize("space", [SPACE, imagenet_space()], ids=lambda s: s.name)
+    def test_random_batch_stream_equivalent(self, space):
+        seq_rng = np.random.default_rng(13)
+        batch_rng = np.random.default_rng(13)
+        sequential = np.array(
+            [NetworkArch.random(space, seq_rng).to_indices() for _ in range(40)]
+        )
+        batched = NetworkArch.random_batch(space, 40, batch_rng)
+        np.testing.assert_array_equal(sequential, batched)
+        assert seq_rng.bit_generator.state == batch_rng.bit_generator.state
+
+    @pytest.mark.parametrize("platform", available_platforms())
+    def test_sample_batch_stream_equivalent(self, platform):
+        ds = DesignSpace(platform)
+        seq_rng = np.random.default_rng(17)
+        batch_rng = np.random.default_rng(17)
+        sequential = ds.sample_many(40, seq_rng)
+        batched = ds.sample_batch(40, batch_rng)
+        assert batched.configs() == sequential
+        assert seq_rng.bit_generator.state == batch_rng.bit_generator.state
+
+    @pytest.mark.parametrize("platform", available_platforms())
+    def test_config_batch_vectors_match_scalar(self, platform):
+        ds = DesignSpace(platform)
+        batch = ds.sample_batch(25, np.random.default_rng(3))
+        vectors = batch.to_vectors()
+        for row, config in zip(vectors, batch.configs()):
+            np.testing.assert_array_equal(row, config.to_vector())
+
+    def test_config_batch_rejects_foreign_rf_bytes(self):
+        """to_vectors must refuse an rf_bytes outside the platform's
+        options, like the scalar to_vector does, instead of silently
+        snapping to a neighbour."""
+        from repro.accelerator import ConfigBatch
+
+        batch = ConfigBatch(
+            pe_rows=np.array([14]), pe_cols=np.array([12]),
+            rf_bytes=np.array([48]), df_index=np.array([0]),
+            platform="eyeriss",
+        )
+        with pytest.raises(ValueError, match="rf_bytes 48"):
+            batch.to_vectors()
+
+    def test_bounded_batch_falls_back_outside_fast_range(self):
+        """Bounds of 1 consume no stream word; the helper must still be
+        stream-exact by replaying the scalar path."""
+        from repro.rng import bounded_integers_batch
+
+        bounds = np.array([7, 1, 9, 1, 3])
+        seq_rng = np.random.default_rng(23)
+        batch_rng = np.random.default_rng(23)
+        sequential = [int(seq_rng.integers(0, int(b))) for b in bounds]
+        batched = bounded_integers_batch(batch_rng, bounds)
+        assert batched.tolist() == sequential
+        assert seq_rng.bit_generator.state == batch_rng.bit_generator.state
+
+
+class TestPairOracle:
+    """Pair-batch oracle bit parity against the scalar oracle."""
+
+    @pytest.mark.parametrize("platform", available_platforms())
+    def test_pairs_bitwise_match_scalar(self, platform):
+        from repro.accelerator.batch import evaluate_pairs
+
+        rng = np.random.default_rng(5)
+        ds = DesignSpace(platform)
+        archs = [NetworkArch.random(SPACE, rng) for _ in range(12)]
+        configs = ds.sample_many(12, rng)
+        ev = evaluate_pairs(archs, configs)
+        for i, (arch, config) in enumerate(zip(archs, configs)):
+            truth = evaluate_network(arch, config, platform=platform)
+            assert ev.latency_ms[i] == truth.latency_ms
+            assert ev.energy_mj[i] == truth.energy_mj
+            assert ev.area_mm2[i] == truth.area_mm2
+
+    def test_indices_entry_matches_object_entry(self):
+        from repro.accelerator.batch import evaluate_pairs, evaluate_pairs_from_indices
+
+        rng = np.random.default_rng(8)
+        ds = DesignSpace()
+        indices = NetworkArch.random_batch(SPACE, 10, rng)
+        batch = ds.sample_batch(10, rng)
+        by_indices = evaluate_pairs_from_indices(SPACE, indices, batch)
+        by_objects = evaluate_pairs(
+            [NetworkArch.from_indices(SPACE, row) for row in indices],
+            batch.configs(),
+        )
+        np.testing.assert_array_equal(by_indices.as_matrix(), by_objects.as_matrix())
+
+    def test_length_mismatch_refused(self):
+        from repro.accelerator.batch import evaluate_pairs
+
+        rng = np.random.default_rng(0)
+        archs = [NetworkArch.random(SPACE, rng) for _ in range(3)]
+        configs = DesignSpace().sample_many(2, rng)
+        with pytest.raises(ValueError, match="one config per network"):
+            evaluate_pairs(archs, configs)
+
+
+class TestVectorizedDataset:
+    def test_matches_scalar_reference_pipeline(self):
+        """The vectorized builder must reproduce the original
+        one-pair-at-a-time loop bitwise, platform by platform."""
+        from repro.accelerator.platform import as_platform
+
+        for platform in available_platforms():
+            plat = as_platform(platform)
+            rng = np.random.default_rng(0)
+            design_space = DesignSpace(plat)
+            features = np.empty((40, extended_feature_dim(SPACE) + 6))
+            targets = np.empty((40, 3))
+            for i in range(40):
+                arch = NetworkArch.random(SPACE, rng)
+                config = design_space.sample(rng)
+                metrics = evaluate_network(arch, config, platform=plat)
+                features[i] = np.concatenate(
+                    [
+                        extended_features_from_indices(SPACE, arch.to_indices()),
+                        config.to_vector(),
+                    ]
+                )
+                targets[i] = metrics.as_tuple()
+            dataset = build_cost_dataset(SPACE, n_samples=40, seed=0, platform=plat)
+            np.testing.assert_array_equal(dataset.features, features)
+            np.testing.assert_array_equal(dataset.targets, targets)
+
+    def test_non_positive_targets_rejected_at_construction(self):
+        targets = np.array([[1.0, 2.0, 3.0], [1.0, 0.0, 3.0]])
+        with pytest.raises(ValueError, match="must be positive"):
+            CostDataset(np.zeros((2, 4)), targets, np.zeros(3), np.ones(3))
+
+    def test_oracle_guard_names_platform_and_config(self):
+        from repro.accelerator import ConfigBatch
+        from repro.estimator.dataset import _check_oracle_targets
+
+        batch = ConfigBatch(
+            pe_rows=np.array([14, 16]),
+            pe_cols=np.array([12, 10]),
+            rf_bytes=np.array([64, 32]),
+            df_index=np.array([0, 2]),
+            platform="eyeriss",
+        )
+        targets = np.array([[1.0, 1.0, 1.0], [2.0, -3.0, 1.0]])
+        with pytest.raises(ValueError) as excinfo:
+            _check_oracle_targets(targets, "eyeriss", batch)
+        message = str(excinfo.value)
+        assert "eyeriss" in message
+        assert "energy_mj" in message
+        assert "16x10 PEs" in message  # the offending config, not the first one
+
+    def test_n_samples_defaults_unified(self):
+        """build_cost_dataset and pretrain_estimator train on the same
+        documented sample count."""
+        build_default = inspect.signature(build_cost_dataset).parameters["n_samples"]
+        pretrain_default = inspect.signature(pretrain_estimator).parameters["n_samples"]
+        assert build_default.default == DEFAULT_PRETRAIN_SAMPLES
+        assert pretrain_default.default == DEFAULT_PRETRAIN_SAMPLES
+
+
+class TestFusedTrainer:
+    """The fused-kernel/autodiff parity contract (change-both rule)."""
+
+    def _parity_case(self, n_samples, width, epochs, seed):
+        dataset = build_cost_dataset(SPACE, n_samples=n_samples, seed=seed)
+        reference = CostEstimator(SPACE, width=width, seed=seed)
+        fused = CostEstimator(SPACE, width=width, seed=seed)
+        ref_losses = train_estimator(
+            reference, dataset, epochs=epochs, seed=seed, backend="autodiff"
+        )
+        fused_losses = train_estimator(
+            fused, dataset, epochs=epochs, seed=seed, backend="fused"
+        )
+        assert ref_losses == fused_losses
+        for (name, p_ref), (_, p_fused) in zip(
+            reference.named_parameters(), fused.named_parameters()
+        ):
+            assert np.array_equal(p_ref.data, p_fused.data), name
+
+    def test_fused_matches_autodiff_bitwise(self):
+        self._parity_case(n_samples=300, width=32, epochs=3, seed=0)
+
+    def test_fused_matches_autodiff_with_single_row_tail_batch(self):
+        # 257 samples -> final minibatch of one row, exercising the
+        # engine's outer-product weight-VJP special case.
+        self._parity_case(n_samples=257, width=24, epochs=2, seed=4)
+
+    def test_unknown_backend_rejected(self):
+        dataset = build_cost_dataset(SPACE, n_samples=30, seed=0)
+        estimator = CostEstimator(SPACE, width=16, seed=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            train_estimator(estimator, dataset, epochs=1, backend="torch")
+
+
+class TestPredictConsolidation:
+    def test_predict_numpy_rows_are_scalar_stable(self, trained_estimator, small_dataset):
+        """Each row of the one batched path equals a scalar (1, in)
+        forward bitwise — the contract the fleet telemetry and the
+        scalar search loop share."""
+        from repro.autodiff import no_grad
+
+        features = small_dataset.features[:9]
+        batched = trained_estimator.predict_numpy(features)
+        for i in range(len(features)):
+            with no_grad():
+                normalized = trained_estimator.forward(Tensor(features[i : i + 1])).data
+            scalar = np.exp(
+                normalized * trained_estimator.target_std
+                + trained_estimator.target_mean
+            )[0]
+            np.testing.assert_array_equal(batched[i], scalar)
+
+    def test_predict_numpy_rows_alias_removed(self, trained_estimator):
+        assert not hasattr(trained_estimator, "predict_numpy_rows")
 
 
 class TestGenerator:

@@ -32,11 +32,11 @@ class TestCommon:
         path = common._cache_path("cifar10")
         assert os.path.exists(path)
         # Force a reload from disk and verify identical predictions.
-        common._ESTIMATORS.pop(("cifar10", "eyeriss", 0))
+        common._ESTIMATORS.pop(("cifar10", "eyeriss", 0, None, None))
         reloaded = common.get_estimator("cifar10")
         feats = np.zeros((1, reloaded.mlp.in_proj.in_features))
         first = reloaded.predict_numpy(feats)
-        common._ESTIMATORS[("cifar10", "eyeriss", 0)] = reloaded
+        common._ESTIMATORS[("cifar10", "eyeriss", 0, None, None)] = reloaded
         assert np.all(np.isfinite(first))
 
     def test_format_table(self):

@@ -171,6 +171,54 @@ class TestCli:
         assert "Mapping report" in out
 
 
+class TestCliPretrain:
+    """The cache-warming subcommand, against an isolated cache dir."""
+
+    def test_pretrain_trains_then_serves_cached(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "CACHE_DIR", str(tmp_path))
+        args = [
+            "pretrain", "--platforms", "eyeriss", "--n-samples", "120",
+            "--epochs", "2",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "eyeriss" in first and "trained" in first
+        assert "trained=1 cached=0" in first
+        # The in-process memo would mask the disk cache; a fresh process
+        # is simulated by clearing it.
+        common._ESTIMATORS.clear()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cached" in second
+        assert "trained=0 cached=1 oracle_pairs=0" in second
+
+    def test_pretrain_rejects_unknown_platform(self, capsys):
+        assert main(["pretrain", "--platforms", "gpu-9000"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_non_default_budget_gets_its_own_cache_file(self):
+        from repro.experiments.common import _cache_path
+
+        canonical = _cache_path("cifar10", "eyeriss", 0)
+        smoke = _cache_path("cifar10", "eyeriss", 0, n_samples=120, epochs=2)
+        assert canonical != smoke
+        assert "n120" in smoke and "e2" in smoke
+
+    def test_explicit_canonical_budget_maps_to_canonical_cache(self):
+        """Passing --n-samples 8000 / --epochs 120 explicitly must warm
+        the same cache entries as the default invocation."""
+        from repro.estimator import DEFAULT_PRETRAIN_EPOCHS, DEFAULT_PRETRAIN_SAMPLES
+        from repro.experiments.common import _cache_path
+
+        explicit = _cache_path(
+            "cifar10", "eyeriss", 0,
+            n_samples=DEFAULT_PRETRAIN_SAMPLES, epochs=DEFAULT_PRETRAIN_EPOCHS,
+        )
+        assert explicit == _cache_path("cifar10", "eyeriss", 0)
+
+
 class TestCliSearch:
     """End-to-end CLI searches (use the cached estimator, short runs)."""
 
