@@ -4,11 +4,14 @@ Reproduces "Enabling Hard Constraints in Differentiable Neural Network
 and Accelerator Co-Exploration" (Hong et al., DAC 2022) from scratch in
 NumPy: autodiff engine, NN library, NAS supernet, a registry of
 hardware platforms (Eyeriss-style default plus edge and TPU-like
-targets) with per-platform analytical cost models, learned
+targets) with per-platform analytical cost models, a registry of
+workloads (the paper's CIFAR-10/ImageNet plus CIFAR-100 and
+keyword-spotting spaces — ``repro/workload.py``), learned
 estimator/generator, the HDX gradient manipulation, baselines, and the
 full experiment/benchmark harness, topped by an experiment runtime
 (content-addressed run store, multiprocess fleet sharding, resumable
-drivers — ``repro/runtime/``).
+drivers — ``repro/runtime/``) and a workload x platform campaign
+driver.
 
 See README.md for usage and DESIGN.md for the system inventory.
 """

@@ -12,8 +12,10 @@ from repro.arch.space import (
     MBConvChoice,
     SearchSpace,
     SKIP,
+    cifar100_space,
     cifar_space,
     imagenet_space,
+    speech_space,
 )
 from repro.arch.network import ConvLayerDesc, NetworkArch
 from repro.arch.blocks import MBConvBlock, build_network_module
@@ -35,6 +37,8 @@ __all__ = [
     "SearchSpace",
     "cifar_space",
     "imagenet_space",
+    "cifar100_space",
+    "speech_space",
     "NetworkArch",
     "ConvLayerDesc",
     "MBConvBlock",

@@ -202,3 +202,52 @@ def imagenet_space() -> SearchSpace:
             (640, 24, 3, 2),
         ],
     )
+
+
+def cifar100_space() -> SearchSpace:
+    """20-layer CIFAR-100-scale space (not in the paper).
+
+    Same 32x32 inputs as the CIFAR-10 space but a 100-way head and a
+    deeper, wider stage plan: fine-grained classification needs more
+    capacity, so the space leans on a 6-layer middle stage and a wider
+    final stage than :func:`cifar_space`.
+    """
+    return SearchSpace(
+        name="cifar100",
+        input_size=32,
+        train_input_size=16,
+        num_classes=100,
+        stem_channels=48,
+        train_stem_channels=8,
+        stage_plan=[
+            (48, 8, 4, 1),
+            (96, 12, 5, 2),
+            (192, 16, 6, 2),
+            (384, 24, 5, 2),
+        ],
+    )
+
+
+def speech_space() -> SearchSpace:
+    """12-layer small-input keyword-spotting space (not in the paper).
+
+    Models an always-on audio/edge-vision workload: 24x24 inputs
+    (spectrogram patches), 12 output classes, and a shallow, narrow
+    layout — the depth/width profile is deliberately unlike the CIFAR
+    and ImageNet spaces so per-workload cost normalization and
+    surrogate calibration actually matter.
+    """
+    return SearchSpace(
+        name="speech",
+        input_size=24,
+        train_input_size=12,
+        num_classes=12,
+        stem_channels=24,
+        train_stem_channels=8,
+        stage_plan=[
+            (24, 8, 3, 1),
+            (48, 12, 4, 2),
+            (96, 16, 3, 2),
+            (192, 24, 2, 2),
+        ],
+    )

@@ -19,11 +19,15 @@ solution over-shoots below 50% of the target).
 
 from repro.baselines.methods import (
     GPU_HOURS_PER_SEARCH,
+    METHODS,
+    MethodInfo,
     autonba_config,
+    config_for_method,
     dance_config,
     dance_soft_config,
     finalize_nas_then_hw,
     hdx_config,
+    method_info,
     nas_then_hw_config,
     run_autonba,
     run_dance,
@@ -34,6 +38,10 @@ from repro.baselines.methods import (
 from repro.baselines.meta_search import MetaSearch, MetaSearchResult
 
 __all__ = [
+    "METHODS",
+    "MethodInfo",
+    "method_info",
+    "config_for_method",
     "run_nas_then_hw",
     "run_dance",
     "run_dance_soft",

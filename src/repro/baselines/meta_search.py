@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core import ConstraintSet, SearchResult
-from repro.baselines.methods import GPU_HOURS_PER_SEARCH
+from repro.baselines.methods import method_info
 
 #: Accept solutions whose constrained metric is within this fraction of
 #: the target from below (paper: "criteria of having a solution of
@@ -177,7 +177,10 @@ class _TunerState:
         assert self.best is not None
         meta = self.meta
         accepted = meta._accept(self.best.metrics.metric(meta.metric))
-        per_search = GPU_HOURS_PER_SEARCH.get(meta.method, 1.85)
+        try:  # canonical or CLI spelling; ad-hoc methods cost DANCE-like
+            per_search = method_info(meta.method).gpu_hours_per_search
+        except ValueError:
+            per_search = 1.85
         return MetaSearchResult(
             method=meta.method,
             n_searches=self.n,

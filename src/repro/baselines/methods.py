@@ -11,7 +11,8 @@ obeys the active jobs/store context.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.accelerator import cost_hw, exhaustive_search
 from repro.arch import SearchSpace
@@ -20,15 +21,57 @@ from repro.estimator import CostEstimator
 from repro.runtime import dispatch_many
 from repro.surrogate import AccuracySurrogate
 
-#: GPU-hours per search, matching the per-search costs implied by the
-#: paper's Table 1 (cost / #searches).  Used by the meta-search to
-#: report the "Cost" column.
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """Static metadata of one co-exploration method.
+
+    The single source of truth for everything the drivers used to
+    duplicate: the Table 1 traits columns, the per-search GPU-hour
+    costs (paper Table 1: cost / #searches), the CLI spelling, and
+    whether the method needs the exhaustive hardware phase after the
+    NAS phase.  The campaign report and the meta-search read from
+    here; keep display order = registration order (the paper's).
+    """
+
+    name: str  # canonical display name ("DANCE+Soft")
+    cli_name: str  # CLI / manifest spelling ("dance-soft")
+    gpu_hours_per_search: float
+    hard_constraint: bool  # Table 1 "HardConst" column
+    nn_hw_relation: bool  # Table 1 "NN-HW rel" column
+    needs_hw_phase: bool = False  # exhaustive HW search after the NAS phase
+
+
+#: Canonical-name index, in the paper's Table 1 order.
+METHODS: Dict[str, MethodInfo] = {
+    info.name: info
+    for info in (
+        MethodInfo("NAS->HW", "nas-hw", 2.18, False, False, needs_hw_phase=True),
+        MethodInfo("Auto-NBA", "auto-nba", 1.50, False, True),
+        MethodInfo("DANCE", "dance", 1.85, False, True),
+        MethodInfo("DANCE+Soft", "dance-soft", 1.86, False, True),
+        MethodInfo("HDX", "hdx", 2.00, True, True),
+    )
+}
+
+
+def method_info(name: str) -> MethodInfo:
+    """Look a method up by canonical or CLI name."""
+    if name in METHODS:
+        return METHODS[name]
+    for info in METHODS.values():
+        if info.cli_name == name:
+            return info
+    raise ValueError(
+        f"unknown method {name!r}; known: {sorted(METHODS)} "
+        f"(CLI names: {sorted(m.cli_name for m in METHODS.values())})"
+    )
+
+
+#: Legacy view of :data:`METHODS` (kept for existing callers; derived,
+#: never edited directly).
 GPU_HOURS_PER_SEARCH = {
-    "NAS->HW": 2.18,
-    "Auto-NBA": 1.50,
-    "DANCE": 1.85,
-    "DANCE+Soft": 1.86,
-    "HDX": 2.00,
+    name: info.gpu_hours_per_search for name, info in METHODS.items()
 }
 
 
@@ -160,6 +203,46 @@ def finalize_nas_then_hw(
         history=result.history,
         method="NAS->HW",
         platform=result.platform,
+    )
+
+
+def config_for_method(
+    method: str,
+    constraints: ConstraintSet,
+    lambda_cost: float = 0.003,
+    seed: int = 0,
+    **overrides,
+) -> SearchConfig:
+    """One search config of a named method (canonical or CLI name).
+
+    The manifest-building entry point the campaign driver uses: every
+    method's factory is reachable through one call with a uniform
+    signature.  For soft/penalty methods the control parameter stays at
+    its factory default — campaigns compare methods at fixed controls;
+    tuning is the meta-search's job (Table 1).
+    """
+    info = method_info(method)
+    if info.name == "HDX":
+        return hdx_config(constraints, lambda_cost=lambda_cost, seed=seed, **overrides)
+    if info.name == "DANCE":
+        return dance_config(
+            lambda_cost=lambda_cost, seed=seed, constraints=constraints, **overrides
+        )
+    if info.name == "DANCE+Soft":
+        return dance_soft_config(
+            constraints, lambda_cost=lambda_cost, seed=seed, **overrides
+        )
+    if info.name == "Auto-NBA":
+        return autonba_config(
+            lambda_cost=lambda_cost, seed=seed, constraints=constraints, **overrides
+        )
+    if info.name == "NAS->HW":
+        # The NAS phase config; callers must follow up with
+        # finalize_nas_then_hw (see MethodInfo.needs_hw_phase).
+        return nas_then_hw_config(seed=seed, constraints=constraints, **overrides)
+    raise ValueError(
+        f"method {info.name!r} is registered in METHODS but has no config "
+        f"factory branch here; teach config_for_method about it"
     )
 
 

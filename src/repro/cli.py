@@ -2,20 +2,32 @@
 
 Subcommands::
 
-    python -m repro search     --space cifar10 --latency 16.6 [--platform edge] [...]
+    python -m repro search     --workload cifar10 --latency 16.6 [--platform edge] [...]
     python -m repro evaluate   --result out.json [--platform tpu-like]
     python -m repro report     --result out.json
-    python -m repro hwsearch   --space cifar10 --indices 0,1,2,... [--platform edge]
+    python -m repro hwsearch   --workload cifar10 --indices 0,1,2,... [--platform edge]
     python -m repro experiment --name fig1|table1|fig3|table2|fig4|table3|fig5
     python -m repro pretrain   [--platforms eyeriss,edge] [--jobs 3]
+    python -m repro campaign   --workloads cifar10,speech --platforms eyeriss,edge
+    python -m repro workloads  ls
     python -m repro runs       ls|gc|invalidate [--store DIR]
 
 ``search`` runs an HDX (or baseline) co-exploration and writes the
 result JSON; ``evaluate``/``report`` re-check a saved result against
 the analytical ground truth; ``experiment`` regenerates a paper
-table/figure.  ``--platform`` selects a registered hardware target
-(default ``eyeriss``); ``evaluate``/``report`` default to the
-platform stored in the result JSON.
+table/figure.  ``--workload`` selects a registered workload (the
+software side of a scenario: search space, surrogate calibration, cost
+normalization; ``--space`` remains as a legacy alias) and
+``--platform`` a registered hardware target (default ``eyeriss``);
+``evaluate``/``report`` default to what the result JSON stores.
+``workloads ls`` prints the registry — the software-side mirror of the
+platform registry.
+
+``campaign`` sweeps a workload x platform x constraint-preset x method
+grid through the runtime scheduler and renders a cross-scenario
+Pareto/summary report.  The run store is on by default for campaigns
+(an unchanged campaign re-run executes zero searches); ``--dry-run``
+validates and prints the grid without executing anything.
 
 ``pretrain`` warms the estimator caches explicitly: it pre-trains (or
 loads) the cost estimator of every requested platform, cache misses in
@@ -82,6 +94,35 @@ def _add_platform_arg(parser: argparse.ArgumentParser, default: Optional[str]) -
     )
 
 
+def _add_workload_arg(
+    parser: argparse.ArgumentParser, default: Optional[str] = "cifar10"
+) -> None:
+    from repro.workload import available_workloads
+
+    parser.add_argument(
+        "--workload",
+        "--space",
+        dest="workload",
+        choices=available_workloads(),
+        default=default,
+        help="registered workload (--space is a legacy alias)"
+        + ("" if default else " (default: the result's stored workload)"),
+    )
+
+
+def _split_names(raw: str, registered, kind: str) -> List[str]:
+    """Parse a comma-separated name list against a registry listing."""
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(registered))
+    if unknown:
+        raise SystemExit(
+            f"error: unknown {kind}(s) {unknown}; registered: {list(registered)}"
+        )
+    if not names:
+        raise SystemExit(f"error: no {kind}s given")
+    return names
+
+
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -144,8 +185,8 @@ def _constraints_from(args) -> ConstraintSet:
 def cmd_search(args) -> int:
     from repro.experiments.common import get_estimator, get_space
 
-    space = get_space(args.space)
-    estimator = get_estimator(args.space, platform=args.platform)
+    space = get_space(args.workload)
+    estimator = get_estimator(args.workload, platform=args.platform)
     constraints = _constraints_from(args)
     with _runtime_context_from(args):
         if args.method == "hdx":
@@ -179,8 +220,23 @@ def cmd_search(args) -> int:
     return 0 if (not constraints or result.in_constraint) else 1
 
 
+def _check_result_workload(args, result) -> Optional[int]:
+    """``--workload`` on evaluate/report asserts the result's workload."""
+    if args.workload and result.arch.space.name != args.workload:
+        print(
+            f"error: result belongs to workload {result.arch.space.name!r}, "
+            f"not {args.workload!r}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def cmd_evaluate(args) -> int:
     result = load_result(args.result)
+    mismatch = _check_result_workload(args, result)
+    if mismatch is not None:
+        return mismatch
     platform = args.platform or result.platform
     truth = evaluate_network(result.arch, result.config, platform=platform)
     print(f"platform: {platform}")
@@ -198,15 +254,18 @@ def cmd_report(args) -> int:
     from repro.accelerator.report import report_network
 
     result = load_result(args.result)
+    mismatch = _check_result_workload(args, result)
+    if mismatch is not None:
+        return mismatch
     platform = args.platform or result.platform
     print(report_network(result.arch, result.config, platform=platform).render())
     return 0
 
 
 def cmd_hwsearch(args) -> int:
-    space = space_by_name(args.space)
+    space = space_by_name(args.workload)
     indices = [int(x) for x in args.indices.split(",")]
-    arch = arch_from_dict({"space": args.space, "indices": indices}, space)
+    arch = arch_from_dict({"space": args.workload, "indices": indices}, space)
     constraints = _constraints_from(args)
     bounds = {c.metric: c.bound for c in constraints}
     config, metrics = exhaustive_search(
@@ -230,8 +289,11 @@ def cmd_experiment(args) -> int:
         "fig5": (experiments.run_fig5, experiments.render_fig5),
     }
     run, render = runners[args.name]
+    # Each driver has its paper workload as default (table3: imagenet,
+    # everything else: cifar10); --workload overrides it.
+    kwargs = {"workload": args.workload} if args.workload else {}
     with _runtime_context_from(args):
-        rows = run()
+        rows = run(**kwargs)
         _print_runtime_report()
     print(render(rows))
     return 0
@@ -256,20 +318,108 @@ def cmd_pretrain(args) -> int:
             return 2
     with runtime_context(jobs=args.jobs):
         status = warm_estimator_caches(
-            args.space,
+            args.workload,
             platforms=platforms,
             seed=args.seed,
             n_samples=args.n_samples,
             epochs=args.epochs,
         )
     for platform in platforms:
-        path = _cache_path(args.space, platform, args.seed, args.n_samples, args.epochs)
-        print(f"estimator [{args.space}/{platform}/s{args.seed}]: "
+        path = _cache_path(
+            args.workload, platform, args.seed, args.n_samples, args.epochs
+        )
+        print(f"estimator [{args.workload}/{platform}/s{args.seed}]: "
               f"{status[platform]} ({path})")
     trained = sum(1 for s in status.values() if s == "trained")
     cached = len(status) - trained
     pairs = trained * (args.n_samples or DEFAULT_PRETRAIN_SAMPLES)
     print(f"pretrain summary: trained={trained} cached={cached} oracle_pairs={pairs}")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """``repro workloads ls`` — the software-side registry listing."""
+    from repro.workload import available_workloads, get_workload
+
+    for name in available_workloads():
+        workload = get_workload(name)
+        space = workload.space()
+        cal = workload.calibration
+        presets = ", ".join(
+            f"{preset}: "
+            + " ".join(
+                f"{metric}<={bound:g}"
+                for metric, bound in sorted(workload.constraint_presets[preset].items())
+            )
+            for preset in workload.preset_names()
+        )
+        print(f"{name}: {workload.description or '(no description)'}")
+        print(
+            f"  space      : {space.num_layers} layers, {space.num_classes} "
+            f"classes @ {space.input_size}px "
+            f"({space.total_architectures():.2e} architectures)"
+        )
+        print(
+            f"  surrogate  : err {cal['err_floor']:g}-"
+            f"{cal['err_floor'] + cal['err_spread']:g}%, "
+            f"loss_scale {cal['loss_scale']:g}, "
+            f"typical Cost_HW {workload.typical_cost:g} "
+            f"(norm {workload.cost_normalization():g})"
+        )
+        print(f"  presets    : {presets}")
+    print(f"{len(available_workloads())} workload(s) registered")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.experiments.campaign import (
+        build_scenarios,
+        render_campaign,
+        render_plan,
+        run_campaign,
+    )
+    from repro.baselines import METHODS
+    from repro.workload import available_workloads, get_workload
+
+    workloads = _split_names(args.workloads, available_workloads(), "workload")
+    platforms = _split_names(args.platforms, available_platforms(), "platform")
+    method_names = sorted(
+        set(METHODS) | {info.cli_name for info in METHODS.values()}
+    )
+    methods = _split_names(args.methods, method_names, "method")
+    # Presets are per-workload; validate each against every selected
+    # workload so the grid fails cleanly before anything executes.
+    presets = [name.strip() for name in args.presets.split(",") if name.strip()]
+    if not presets:
+        raise SystemExit("error: no presets given")
+    for name in workloads:
+        workload = get_workload(name)
+        missing = sorted(set(presets) - set(workload.preset_names()))
+        if missing:
+            raise SystemExit(
+                f"error: workload {name!r} lacks constraint preset(s) "
+                f"{missing}; available: {workload.preset_names()}"
+            )
+    scenarios = build_scenarios(
+        workloads,
+        platforms,
+        methods=methods,
+        presets=presets,
+        seeds=args.seeds,
+        lambda_cost=args.lambda_cost,
+        epochs=args.epochs,
+    )
+    if args.dry_run:
+        print(render_plan(scenarios))
+        return 0
+    # Campaigns default to the run store (re-runs dedupe to zero
+    # executed searches) unless explicitly disabled.
+    if not args.no_store and args.store is None:
+        args.store = "__default__"
+    with _runtime_context_from(args):
+        rows = run_campaign(scenarios)
+        _print_runtime_report()
+    print(render_campaign(rows))
     return 0
 
 
@@ -307,7 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("search", help="run a co-exploration")
-    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    _add_workload_arg(p)
     p.add_argument("--method", choices=sorted(_METHODS), default="hdx")
     p.add_argument("--lambda-cost", dest="lambda_cost", type=float, default=0.003)
     p.add_argument("--seed", type=int, default=0)
@@ -321,15 +471,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("evaluate", help="re-check a saved result")
     p.add_argument("--result", required=True)
     _add_platform_arg(p, default=None)
+    _add_workload_arg(p, default=None)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("report", help="per-layer mapping report of a saved result")
     p.add_argument("--result", required=True)
     _add_platform_arg(p, default=None)
+    _add_workload_arg(p, default=None)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("hwsearch", help="exhaustive accelerator search for a fixed network")
-    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    _add_workload_arg(p)
     p.add_argument("--indices", required=True, help="comma-separated choice indices")
     _add_constraint_args(p)
     _add_platform_arg(p, default="eyeriss")
@@ -338,11 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("--name", required=True,
                    choices=("fig1", "table1", "fig3", "table2", "fig4", "table3", "fig5"))
+    _add_workload_arg(p, default=None)
     _add_runtime_args(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("pretrain", help="warm the per-platform estimator caches")
-    p.add_argument("--space", choices=("cifar10", "imagenet"), default="cifar10")
+    _add_workload_arg(p)
     p.add_argument(
         "--platforms", default=None, metavar="P1,P2",
         help="comma-separated platform names (default: all registered)",
@@ -361,6 +514,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="non-canonical epoch count (gets its own cache file)",
     )
     p.set_defaults(func=cmd_pretrain)
+
+    p = sub.add_parser("workloads", help="inspect the workload registry")
+    p.add_argument("action", choices=("ls",))
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "campaign", help="sweep a workload x platform x constraint grid"
+    )
+    p.add_argument(
+        "--workloads", default="cifar10,speech", metavar="W1,W2",
+        help="comma-separated registered workloads",
+    )
+    p.add_argument(
+        "--platforms", default="eyeriss,edge", metavar="P1,P2",
+        help="comma-separated registered platforms",
+    )
+    p.add_argument(
+        "--methods", default="hdx", metavar="M1,M2",
+        help=f"comma-separated methods ({', '.join(sorted(_METHODS))}, nas-hw)",
+    )
+    p.add_argument(
+        "--presets", default="default", metavar="N1,N2",
+        help="constraint preset names (each workload must define them)",
+    )
+    p.add_argument("--seeds", type=int, default=1, help="seeds per scenario")
+    p.add_argument("--lambda-cost", dest="lambda_cost", type=float, default=0.003)
+    p.add_argument("--epochs", type=int, default=150)
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="validate and print the scenario grid without executing",
+    )
+    _add_runtime_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("runs", help="inspect/maintain the run store")
     p.add_argument("action", choices=("ls", "gc", "invalidate"))

@@ -51,10 +51,12 @@ from repro.surrogate import AccuracySurrogate
 #: constant calibrates the gradient-magnitude ratio, not the semantics.
 LAMBDA_COST_SCALE = 12.0
 
-#: Typical Cost_HW magnitude per search space, used to normalize the
-#: cost term so the same lambda_cost range behaves consistently across
-#: datasets (ImageNet-scale networks have ~4x the Cost_HW of CIFAR).
-TYPICAL_COST = {"cifar10": 8.0, "imagenet": 30.0}
+# The per-workload typical-Cost_HW table that used to live here
+# (``TYPICAL_COST``) moved into the workload registry: each
+# :class:`repro.workload.Workload` owns its typical cost, and
+# ``Workload.cost_normalization()`` is the quotient both engines
+# multiply into ``lambda_cost``.  An unregistered space name now
+# raises a clear error instead of silently normalizing like CIFAR-10.
 
 
 @dataclass
@@ -130,6 +132,34 @@ class SearchConfig:
     #: into, and decode repair / ground-truth reporting evaluate with,
     #: this platform's design space and analytical model.
     platform: str = "eyeriss"
+    #: Registered workload the run belongs to.  The empty string (the
+    #: default) means "derive from the search space's name", which is
+    #: what every legacy caller does; multi-workload manifest builders
+    #: (the campaign driver) set it explicitly so structural grouping
+    #: and run keys can tell workloads apart without the space object.
+    #: When set, it must match the space the run is dispatched with.
+    workload: str = ""
+
+
+def resolve_workload(space: SearchSpace, config: "SearchConfig"):
+    """The :class:`~repro.workload.Workload` of one run.
+
+    ``config.workload`` (when set) must agree with the space the run is
+    dispatched with — a mismatch means a manifest was built against the
+    wrong space and would silently search the wrong problem.  Both
+    engines (and the scheduler's early validation) resolve through
+    here, so the error reads the same everywhere.
+    """
+    from repro.workload import as_workload
+
+    if config.workload and config.workload != space.name:
+        raise ValueError(
+            f"config targets workload {config.workload!r} but the search "
+            f"space is {space.name!r}; dispatch the config with its own "
+            f"workload's space (repro.workload.get_workload("
+            f"{config.workload!r}).space())"
+        )
+    return as_workload(space.name)
 
 
 class _DirectBeta(nn.Module):
@@ -277,6 +307,7 @@ class CoExplorer:
         self.space = space
         self.estimator = estimator
         self.config = config
+        self.workload = resolve_workload(space, config)
         self.platform = as_platform(config.platform)
         est_platform = getattr(estimator, "platform", "eyeriss")
         if est_platform != self.platform.name:
@@ -423,9 +454,7 @@ class CoExplorer:
             hw_objective = cost if soft_term is None else cost + soft_term
             global_loss = loss_nas
             if cfg.include_cost_term:
-                cost_norm = TYPICAL_COST["cifar10"] / TYPICAL_COST.get(
-                    self.space.name, TYPICAL_COST["cifar10"]
-                )
+                cost_norm = self.workload.cost_normalization()
                 global_loss = global_loss + hw_objective * (
                     cfg.lambda_cost * LAMBDA_COST_SCALE * cost_norm
                 )

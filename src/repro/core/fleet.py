@@ -62,10 +62,10 @@ from repro.arch.encoding import (
 )
 from repro.core.coexplore import (
     LAMBDA_COST_SCALE,
-    TYPICAL_COST,
     CoExplorer,
     SearchConfig,
     decode_repair_scan,
+    resolve_workload,
 )
 from repro.core.constraints import _METRIC_REF, batched_violated
 from repro.core.delta import DeltaPolicyArray
@@ -88,9 +88,14 @@ def _structure_key(config: SearchConfig) -> Tuple:
     bounds, learning rates, ablation flags applied per-run) is data,
     not structure.  The platform is structural: each batch shares one
     frozen estimator and one design space to decode into, so only
-    same-platform runs may share a batch.
+    same-platform runs may share a batch.  The workload is structural
+    for the same reason on the software side — one batch shares one
+    space, one surrogate stack, and one cost normalization — so only
+    same-workload runs may batch (the empty string means "derived from
+    the dispatching space", which is uniform within a manifest).
     """
     return (
+        config.workload,
         config.platform,
         config.fidelity,
         config.epochs,
@@ -164,6 +169,7 @@ class _FleetGroup:
         self.space = space
         self.estimator = estimator
         self.configs = list(configs)
+        self.workload = resolve_workload(space, cfg0)
         self.platform = as_platform(cfg0.platform)
         est_platform = getattr(estimator, "platform", "eyeriss")
         if est_platform != self.platform.name:
@@ -248,9 +254,7 @@ class _FleetGroup:
         self._inv_refs = [1.0 / _METRIC_REF[m] for m in self._metric_names]
 
         # --- Per-run data arrays ---------------------------------------
-        cost_norm = TYPICAL_COST["cifar10"] / TYPICAL_COST.get(
-            space.name, TYPICAL_COST["cifar10"]
-        )
+        cost_norm = self.workload.cost_normalization()
         self._cost_coef = np.array(
             [c.lambda_cost * LAMBDA_COST_SCALE * cost_norm for c in self.configs]
         )

@@ -6,7 +6,12 @@ network can learn but a linear model cannot master — preserving the
 accuracy-vs-capacity trade-off that drives the NAS loss.
 """
 
-from repro.data.synthetic import SyntheticImageDataset, cifar10_like, imagenet_like
+from repro.data.synthetic import (
+    SyntheticImageDataset,
+    cifar10_like,
+    imagenet_like,
+    synthetic_dataset,
+)
 from repro.data.loader import DataLoader, train_val_split
 from repro.data.augment import RandomAugment
 
@@ -14,6 +19,7 @@ __all__ = [
     "SyntheticImageDataset",
     "cifar10_like",
     "imagenet_like",
+    "synthetic_dataset",
     "DataLoader",
     "train_val_split",
     "RandomAugment",

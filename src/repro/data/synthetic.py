@@ -107,6 +107,26 @@ def _generate(
     return SyntheticImageDataset(images, labels, num_classes, name)
 
 
+def synthetic_dataset(
+    n_samples: int,
+    num_classes: int,
+    size: int,
+    noise: float,
+    seed: int,
+    name: str = "synthetic",
+    channels: int = 3,
+) -> SyntheticImageDataset:
+    """Generic class-conditional generator, parameterized per workload.
+
+    ``cifar10_like``/``imagenet_like`` are fixed instantiations of
+    this; the workload registry (:mod:`repro.workload`) calls it with
+    each workload's class count, training resolution, and noise/seed
+    constants, so registering a new workload needs no new generator
+    function here.
+    """
+    return _generate(n_samples, num_classes, channels, size, noise, seed, name)
+
+
 def cifar10_like(
     n_samples: int = 2000,
     size: int = 16,

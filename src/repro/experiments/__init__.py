@@ -6,6 +6,14 @@ The benchmark harness under ``benchmarks/`` calls these drivers.
 """
 
 from repro.experiments.common import get_estimator, get_surrogate, format_table
+from repro.experiments.campaign import (
+    CampaignRow,
+    Scenario,
+    build_scenarios,
+    render_campaign,
+    render_plan,
+    run_campaign,
+)
 from repro.experiments.fig1 import run_fig1, render_fig1
 from repro.experiments.table1 import run_table1, render_table1
 from repro.experiments.fig3 import run_fig3, render_fig3
@@ -18,6 +26,12 @@ __all__ = [
     "get_estimator",
     "get_surrogate",
     "format_table",
+    "Scenario",
+    "CampaignRow",
+    "build_scenarios",
+    "run_campaign",
+    "render_campaign",
+    "render_plan",
     "run_fig1",
     "render_fig1",
     "run_table1",

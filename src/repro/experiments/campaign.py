@@ -1,0 +1,261 @@
+"""Cross-scenario campaign driver: workload × platform × constraint.
+
+The paper evaluates one workload on one accelerator target at a time.
+With both sides of the problem behind registries — workloads
+(:mod:`repro.workload`) and platforms
+(:mod:`repro.accelerator.platform`) — the natural next experiment is
+the full grid: sweep every requested (workload, platform, constraint
+preset, method, seed) scenario through the runtime scheduler and
+report which method wins where.  This is the first experiment the
+paper does not have.
+
+Execution is one :func:`repro.runtime.dispatch_many` manifest per
+workload (a manifest is bound to one search space), so the campaign
+inherits everything the runtime layer provides: content-addressed
+dedupe against the run store (a re-run of an unchanged campaign
+executes **zero** searches), structural batching within each
+(workload, platform, method) cell, and multiprocess sharding under
+``--jobs``.  Method metadata (display order, GPU-hour costs, the
+exhaustive-HW-phase flag) comes from
+:data:`repro.baselines.methods.METHODS` — the campaign report shares
+that single source with Table 1 and the meta-search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerator.pareto import pareto_front
+from repro.baselines import config_for_method, finalize_nas_then_hw, method_info
+from repro.core import SearchConfig, SearchResult
+from repro.experiments.common import format_table, get_space
+from repro.runtime import dispatch_many
+from repro.workload import as_workload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the campaign grid."""
+
+    workload: str
+    platform: str
+    method: str  # canonical or CLI method name
+    preset: str = "default"
+    seed: int = 0
+    lambda_cost: float = 0.003
+    epochs: int = 150
+
+
+@dataclass
+class CampaignRow:
+    """One executed scenario plus its ground-truth outcome."""
+
+    scenario: Scenario
+    result: SearchResult
+    gpu_hours: float
+
+    @property
+    def method(self) -> str:
+        return method_info(self.scenario.method).name
+
+
+@dataclass
+class CampaignPlan:
+    """The validated grid, grouped per workload in request order."""
+
+    scenarios: List[Scenario]
+    configs: Dict[str, List[Tuple[int, SearchConfig]]] = field(default_factory=dict)
+
+
+def build_scenarios(
+    workloads: Sequence[str],
+    platforms: Sequence[str],
+    methods: Sequence[str] = ("hdx",),
+    presets: Sequence[str] = ("default",),
+    seeds: int = 1,
+    lambda_cost: float = 0.003,
+    epochs: int = 150,
+) -> List[Scenario]:
+    """The full grid, workload-major so each workload dispatches once."""
+    return [
+        Scenario(
+            workload=workload,
+            platform=platform,
+            method=method,
+            preset=preset,
+            seed=seed,
+            lambda_cost=lambda_cost,
+            epochs=epochs,
+        )
+        for workload in workloads
+        for platform in platforms
+        for preset in presets
+        for method in methods
+        for seed in range(seeds)
+    ]
+
+
+def plan_campaign(scenarios: Sequence[Scenario]) -> CampaignPlan:
+    """Validate every scenario and build the per-workload manifests.
+
+    Resolution errors (unregistered workload/platform, unknown method
+    or preset) surface here — before any estimator is trained or any
+    search runs — so a ``--dry-run`` exercises exactly the validation
+    the real run would.
+    """
+    from repro.accelerator.platform import as_platform
+
+    plan = CampaignPlan(scenarios=list(scenarios))
+    for index, scenario in enumerate(plan.scenarios):
+        workload = as_workload(scenario.workload)
+        as_platform(scenario.platform)
+        constraints = workload.constraint_preset(scenario.preset)
+        config = config_for_method(
+            scenario.method,
+            constraints,
+            lambda_cost=scenario.lambda_cost,
+            seed=scenario.seed,
+            epochs=scenario.epochs,
+            platform=scenario.platform,
+            workload=workload.name,
+        )
+        plan.configs.setdefault(workload.name, []).append((index, config))
+    return plan
+
+
+def run_campaign(scenarios: Sequence[Scenario]) -> List[CampaignRow]:
+    """Execute the grid through the runtime scheduler.
+
+    One dispatch per workload (manifest order preserved); NAS->HW rows
+    get their exhaustive hardware phase after the dispatch, exactly as
+    the fig3/table drivers do.  Store dedupe, sharding, and report
+    aggregation follow the active :class:`repro.runtime.RuntimeContext`.
+    """
+    plan = plan_campaign(scenarios)
+    results: List[Optional[SearchResult]] = [None] * len(plan.scenarios)
+    for workload_name, manifest in plan.configs.items():
+        space = get_space(workload_name)
+        dispatched = dispatch_many(space, [config for _, config in manifest])
+        for (index, config), result in zip(manifest, dispatched):
+            if method_info(plan.scenarios[index].method).needs_hw_phase:
+                result = finalize_nas_then_hw(result, config.constraints)
+            results[index] = result
+    rows = []
+    for scenario, result in zip(plan.scenarios, results):
+        assert result is not None
+        rows.append(
+            CampaignRow(
+                scenario=scenario,
+                result=result,
+                gpu_hours=method_info(scenario.method).gpu_hours_per_search,
+            )
+        )
+    return rows
+
+
+def render_plan(scenarios: Sequence[Scenario]) -> str:
+    """The dry-run report: the validated grid, nothing executed."""
+    plan = plan_campaign(scenarios)
+    table_rows = []
+    for scenario in plan.scenarios:
+        workload = as_workload(scenario.workload)
+        bounds = workload.constraint_preset(scenario.preset)
+        table_rows.append(
+            [
+                scenario.workload,
+                scenario.platform,
+                method_info(scenario.method).name,
+                scenario.preset,
+                str(bounds),
+                str(scenario.seed),
+                f"{scenario.lambda_cost:.3f}",
+                str(scenario.epochs),
+            ]
+        )
+    table = format_table(
+        ["Workload", "Platform", "Method", "Preset", "Constraints", "Seed",
+         "lambda", "Epochs"],
+        table_rows,
+        title=f"Campaign plan: {len(plan.scenarios)} scenario(s), "
+        f"{len(plan.configs)} workload manifest(s)",
+    )
+    return table + "\n(dry run: nothing executed)"
+
+
+def render_campaign(rows: Sequence[CampaignRow]) -> str:
+    """Per-scenario outcomes plus the cross-scenario summaries."""
+    table_rows = [
+        [
+            r.scenario.workload,
+            r.scenario.platform,
+            r.method,
+            r.scenario.preset,
+            str(r.scenario.seed),
+            f"{r.result.metrics.latency_ms:.2f}",
+            f"{r.result.metrics.energy_mj:.2f}",
+            f"{r.result.metrics.area_mm2:.2f}",
+            f"{r.result.error_percent:.2f}",
+            f"{r.result.cost:.2f}",
+            "yes" if r.result.in_constraint else "NO",
+        ]
+        for r in rows
+    ]
+    out = [
+        format_table(
+            ["Workload", "Platform", "Method", "Preset", "Seed", "Lat (ms)",
+             "E (mJ)", "Area", "Err (%)", "Cost_HW", "in?"],
+            table_rows,
+            title="Campaign: workload x platform x constraint sweep",
+        )
+    ]
+
+    # Per-(workload, platform) Pareto front over (error, Cost_HW) —
+    # which methods produce non-dominated solutions on each target.
+    cells: Dict[Tuple[str, str], List[CampaignRow]] = {}
+    for row in rows:
+        cells.setdefault((row.scenario.workload, row.scenario.platform), []).append(row)
+    front_rows = []
+    for (workload, platform), members in cells.items():
+        front = pareto_front(
+            members,
+            objectives=[
+                lambda r: r.result.error_percent,
+                lambda r: r.result.cost,
+            ],
+        )
+        names = sorted({f"{r.method}/s{r.scenario.seed}" for r in front})
+        feasible = sum(r.result.in_constraint for r in members)
+        front_rows.append(
+            [workload, platform, f"{feasible}/{len(members)}", ", ".join(names)]
+        )
+    out.append(
+        format_table(
+            ["Workload", "Platform", "Feasible", "Pareto front (err vs Cost_HW)"],
+            front_rows,
+            title="Cross-scenario summary",
+        )
+    )
+
+    # Per-method roll-up (paper-calibrated GPU-hours; single source:
+    # baselines.methods.METHODS).
+    by_method: Dict[str, List[CampaignRow]] = {}
+    for row in rows:
+        by_method.setdefault(row.method, []).append(row)
+    method_rows = []
+    for name, members in by_method.items():
+        feasible = sum(r.result.in_constraint for r in members)
+        hours = sum(r.gpu_hours for r in members)
+        err = sum(r.result.error_percent for r in members) / len(members)
+        method_rows.append(
+            [name, str(len(members)), f"{feasible}/{len(members)}",
+             f"{err:.2f}", f"{hours:.1f}h"]
+        )
+    out.append(
+        format_table(
+            ["Method", "Runs", "In-constraint", "Avg Err (%)", "GPU-hours"],
+            method_rows,
+            title="Per-method roll-up",
+        )
+    )
+    return "\n\n".join(out)

@@ -14,15 +14,15 @@ except ImportError:  # non-POSIX: fall back to lock-free (single-process)
     fcntl = None
 
 from repro.accelerator.platform import as_platform
-from repro.arch import SearchSpace, cifar_space, imagenet_space
+from repro.arch import SearchSpace
 from repro.estimator import CostEstimator, pretrain_estimator
 from repro.surrogate import AccuracySurrogate
+from repro.workload import as_workload
 
 #: In-process estimator cache, keyed on everything the trained weights
 #: depend on: (space, platform, seed).
 _ESTIMATORS: Dict[Tuple[str, str, int], CostEstimator] = {}
 _SURROGATES: Dict[str, AccuracySurrogate] = {}
-_SPACES: Dict[str, SearchSpace] = {}
 
 #: On-disk cache directory for pre-trained estimators (pre-training
 #: takes ~30 s; experiments re-use it).  Absolute, so a chdir between
@@ -36,10 +36,14 @@ CACHE_DIR = os.path.abspath(
 
 
 def get_space(name: str) -> SearchSpace:
-    """Memoized search space ('cifar10' or 'imagenet')."""
-    if name not in _SPACES:
-        _SPACES[name] = cifar_space() if name == "cifar10" else imagenet_space()
-    return _SPACES[name]
+    """The memoized search space of a registered workload.
+
+    Resolution goes through the workload registry, so an unregistered
+    name fails loudly (it used to fall back to the ImageNet space) and
+    every consumer — experiments, scheduler workers, serialization —
+    shares one space object per workload.
+    """
+    return as_workload(name).space()
 
 
 def _normalize_budget(
@@ -125,9 +129,11 @@ def get_estimator(
     n_samples: Optional[int] = None,
     epochs: Optional[int] = None,
 ) -> CostEstimator:
-    """Pre-trained, frozen cost estimator for a (space, platform) pair.
+    """Pre-trained, frozen cost estimator for a (workload, platform) pair.
 
     Cached in-process and on disk, keyed on (space, platform, seed) —
+    the space name is the workload name, so each registered workload
+    gets its own cache files per platform —
     plus the training budget when a non-canonical ``n_samples``/
     ``epochs`` is requested (smoke runs get their own cache files);
     delete ``.cache/`` to force re-training (necessary after changing
@@ -236,7 +242,7 @@ def warm_estimator_caches(
 
 
 def get_surrogate(space_name: str = "cifar10") -> AccuracySurrogate:
-    """Canonical accuracy surrogate for a named space."""
+    """Canonical accuracy surrogate for a registered workload."""
     if space_name not in _SURROGATES:
         _SURROGATES[space_name] = AccuracySurrogate(get_space(space_name), seed=0)
     return _SURROGATES[space_name]

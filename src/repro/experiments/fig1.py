@@ -43,15 +43,17 @@ def run_fig1(
     lambdas=(0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.010),
     seeds_per_lambda: int = 3,
     epochs: int = 150,
+    workload: str = "cifar10",
 ) -> List[Fig1Row]:
     """Run the sweep; returns one row per (lambda, seed).
 
     All (lambda, seed) cells are independent DANCE searches with the
     same graph structure, so the whole sweep is one run manifest: the
     runtime scheduler serves repeats from the run store and batches or
-    shards the misses as one fleet.
+    shards the misses as one fleet.  ``workload`` selects the
+    registered workload to sweep (the paper's figure is CIFAR-10).
     """
-    space = get_space("cifar10")
+    space = get_space(workload)
     cells = [
         (li, lam, seed)
         for li, lam in enumerate(lambdas)

@@ -42,7 +42,7 @@ class Fig3Row:
     in_constraint: Optional[bool]
 
 
-def run_fig3(epochs: int = 150) -> List[Fig3Row]:
+def run_fig3(epochs: int = 150, workload: str = "cifar10") -> List[Fig3Row]:
     """Run all 50 fig-3 searches as one runtime dispatch.
 
     The searches are mutually independent, so every config is collected
@@ -51,7 +51,7 @@ def run_fig3(epochs: int = 150) -> List[Fig3Row]:
     additionally gets its exhaustive hardware phase afterwards).  Rows
     come back in the same order the sequential version produced.
     """
-    space = get_space("cifar10")
+    space = get_space(workload)
 
     # (method, constraint, lambda, needs_hw_phase, config) per row.
     plan = []

@@ -33,9 +33,11 @@ class Fig4Curve:
     final_in_constraint: bool
 
 
-def run_fig4(epochs: int = 150, seed: int = 0) -> List[Fig4Curve]:
-    space = get_space("cifar10")
-    estimator = get_estimator("cifar10")
+def run_fig4(
+    epochs: int = 150, seed: int = 0, workload: str = "cifar10"
+) -> List[Fig4Curve]:
+    space = get_space(workload)
+    estimator = get_estimator(workload)
     curves: List[Fig4Curve] = []
     # p is per-run data, so the whole sweep is one fleet batch.
     results = run_many(

@@ -34,9 +34,11 @@ class Fig5Solution:
         return self.result.arch.depth()
 
 
-def run_fig5(epochs: int = 150, seed: int = 0) -> List[Fig5Solution]:
-    space = get_space("cifar10")
-    estimator = get_estimator("cifar10")
+def run_fig5(
+    epochs: int = 150, seed: int = 0, workload: str = "cifar10"
+) -> List[Fig5Solution]:
+    space = get_space(workload)
+    estimator = get_estimator(workload)
     targets = ((16.6, 60), (33.3, 30))
     results = run_many(
         space,

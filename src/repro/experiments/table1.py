@@ -15,13 +15,13 @@ from typing import Dict, List
 import numpy as np
 
 from repro.baselines import (
-    GPU_HOURS_PER_SEARCH,
     MetaSearch,
     autonba_config,
     dance_config,
     dance_soft_config,
     finalize_nas_then_hw,
     hdx_config,
+    method_info,
     nas_then_hw_config,
 )
 from repro.core import ConstraintSet
@@ -71,7 +71,9 @@ def _method_factories(constraints):
     }
 
 
-def run_table1(n_runs: int = 10, target_ms: float = TARGET_MS) -> List[Table1Row]:
+def run_table1(
+    n_runs: int = 10, target_ms: float = TARGET_MS, workload: str = "cifar10"
+) -> List[Table1Row]:
     """Run the meta-search ``n_runs`` times per method plus HDX.
 
     The paper uses 100 repetitions; ``n_runs`` trades bench wall-time
@@ -80,17 +82,13 @@ def run_table1(n_runs: int = 10, target_ms: float = TARGET_MS) -> List[Table1Row
     of their tuning loops goes out as one run manifest through the
     runtime scheduler (:meth:`MetaSearch.run_many`), as does the whole
     HDX block — repeated invocations are served from the run store.
+    ``workload`` selects the registered workload to search (the paper's
+    table is the CIFAR-10 one).
     """
-    space = get_space("cifar10")
+    space = get_space(workload)
     constraints = ConstraintSet.latency(target_ms)
     rows: List[Table1Row] = []
 
-    traits = {
-        "NAS->HW": (False, False),
-        "Auto-NBA": (False, True),
-        "DANCE": (False, True),
-        "DANCE+Soft": (False, True),
-    }
     for method, (factory, c0, hw_phase) in _method_factories(constraints).items():
 
         def batch_search(requests, factory=factory, hw_phase=hw_phase):
@@ -105,14 +103,14 @@ def run_table1(n_runs: int = 10, target_ms: float = TARGET_MS) -> List[Table1Row
         counts = [o.n_searches for o in outcomes]
         errors = [o.final_error for o in outcomes]
         accepted = sum(o.accepted for o in outcomes)
-        hard, relation = traits[method]
+        info = method_info(method)
         rows.append(
             Table1Row(
                 method=method,
-                hard_constraint=hard,
-                nn_hw_relation=relation,
+                hard_constraint=info.hard_constraint,
+                nn_hw_relation=info.nn_hw_relation,
                 n_searches=float(np.mean(counts)),
-                gpu_hours=float(np.mean(counts)) * GPU_HOURS_PER_SEARCH[method],
+                gpu_hours=float(np.mean(counts)) * info.gpu_hours_per_search,
                 avg_error=float(np.mean(errors)),
                 accept_rate=accepted / n_runs,
             )
@@ -123,13 +121,14 @@ def run_table1(n_runs: int = 10, target_ms: float = TARGET_MS) -> List[Table1Row
         space,
         [hdx_config(constraints, seed=run_index) for run_index in range(n_runs)],
     )
+    hdx_info = method_info("HDX")
     rows.append(
         Table1Row(
             method="HDX",
-            hard_constraint=True,
-            nn_hw_relation=True,
+            hard_constraint=hdx_info.hard_constraint,
+            nn_hw_relation=hdx_info.nn_hw_relation,
             n_searches=1.0,
-            gpu_hours=GPU_HOURS_PER_SEARCH["HDX"],
+            gpu_hours=hdx_info.gpu_hours_per_search,
             avg_error=float(np.mean([r.error_percent for r in hdx_results])),
             accept_rate=sum(r.in_constraint for r in hdx_results) / n_runs,
         )

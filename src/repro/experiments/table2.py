@@ -37,9 +37,9 @@ def _global_loss(result, lambda_cost: float) -> float:
     return result.loss_nas + lambda_cost * LAMBDA_COST_SCALE * result.cost
 
 
-def run_table2(epochs: int = 150) -> List[Table2Row]:
-    space = get_space("cifar10")
-    estimator = get_estimator("cifar10")
+def run_table2(epochs: int = 150, workload: str = "cifar10") -> List[Table2Row]:
+    space = get_space(workload)
+    estimator = get_estimator(workload)
     rows: List[Table2Row] = []
     anchors = {"A": dict(lambda_cost=0.002, seed=11), "B": dict(lambda_cost=0.004, seed=22)}
     for name, kw in anchors.items():

@@ -35,8 +35,8 @@ class Table3Row:
     loss: float
 
 
-def run_table3(epochs: int = 150) -> List[Table3Row]:
-    space = get_space("imagenet")
+def run_table3(epochs: int = 150, workload: str = "imagenet") -> List[Table3Row]:
+    space = get_space(workload)
     cs = ConstraintSet.latency(TARGET_MS)
 
     # (lambda for the loss column, needs_hw_phase, config) per row; the

@@ -5,8 +5,15 @@ canonical JSON encoding of everything the run's result depends on —
 
 * every field of the :class:`~repro.core.SearchConfig` (walked via
   ``dataclasses.fields``, so a newly added knob automatically enters
-  the key and old keys go stale instead of aliasing);
-* the search-space name and the target platform;
+  the key and old keys go stale instead of aliasing) — with one
+  deliberate exception: the ``workload`` field is omitted while it is
+  the derived default (empty, or equal to the dispatching space's
+  name), because the ``space`` entry below *is* the workload identity
+  (workload name == space name by registry invariant).  Keys written
+  before the workload layer existed therefore stay valid, and an
+  explicit ``workload="cifar10"`` hits the same record as the derived
+  form;
+* the search-space name (== workload name) and the target platform;
 * the estimator fingerprint (a hash of the trained weights, buffers,
   space, and platform — a re-trained estimator changes every key);
 * the engine salt and key-layout version from
@@ -54,8 +61,21 @@ def _canonical(value):
 
 
 def config_payload(config: SearchConfig) -> Dict:
-    """Canonical dict of every ``SearchConfig`` field."""
-    return {f.name: _canonical(getattr(config, f.name)) for f in fields(config)}
+    """Canonical dict of every ``SearchConfig`` field.
+
+    The ``workload`` field is skipped while empty (the derived
+    default): the run key's top-level ``space`` entry already names the
+    workload, and omitting the default keeps every pre-workload-layer
+    key valid.  :func:`run_key` additionally drops an explicit workload
+    that merely restates the space, so both spellings share one key.
+    """
+    payload = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if f.name == "workload" and not value:
+            continue
+        payload[f.name] = _canonical(value)
+    return payload
 
 
 def estimator_fingerprint(estimator) -> str:
@@ -80,13 +100,18 @@ def estimator_fingerprint(estimator) -> str:
 
 def run_key(config: SearchConfig, space: str, estimator_fingerprint: str) -> str:
     """The content address of one search run (64 hex chars)."""
+    cfg_payload = config_payload(config)
+    if cfg_payload.get("workload") == space:
+        # An explicit workload equal to the space is the derived
+        # default spelled out; normalize so both produce one key.
+        del cfg_payload["workload"]
     payload = {
         "run_key_version": RUN_KEY_VERSION,
         "engine": ENGINE_SALT,
         "space": space,
         "platform": config.platform,
         "estimator": estimator_fingerprint,
-        "config": config_payload(config),
+        "config": cfg_payload,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

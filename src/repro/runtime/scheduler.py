@@ -146,6 +146,13 @@ class Scheduler:
     def run(self, configs: Sequence[SearchConfig]) -> List[SearchResult]:
         """Execute the manifest; results come back in manifest order."""
         configs = list(configs)
+        # Fail the whole dispatch up front on a workload/space mismatch
+        # (or an unregistered workload) instead of mid-shard in a
+        # worker process.
+        from repro.core.coexplore import resolve_workload
+
+        for config in configs:
+            resolve_workload(self.space, config)
         report = DispatchReport(requested=len(configs), jobs=self.jobs)
         results: List[Optional[SearchResult]] = [None] * len(configs)
         keys: List[Optional[str]] = [None] * len(configs)

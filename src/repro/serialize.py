@@ -21,18 +21,24 @@ import json
 from typing import Dict, List
 
 from repro.accelerator import AcceleratorConfig, Dataflow, HardwareMetrics
-from repro.arch import NetworkArch, SearchSpace, cifar_space, imagenet_space
+from repro.arch import NetworkArch, SearchSpace
 from repro.core import ConstraintSet, EpochRecord, SearchResult
 from repro.core.constraints import Constraint
 from repro.runtime.engine import ENGINE_SALT, SCHEMA_VERSION
 
-_SPACE_FACTORIES = {"cifar10": cifar_space, "imagenet": imagenet_space}
-
 
 def space_by_name(name: str) -> SearchSpace:
-    if name not in _SPACE_FACTORIES:
-        raise ValueError(f"unknown search space {name!r}")
-    return _SPACE_FACTORIES[name]()
+    """Resolve a serialized space name through the workload registry.
+
+    Legacy result JSON predates the workload layer but always named
+    its space ``"cifar10"``/``"imagenet"`` — exactly the names the two
+    legacy workloads register — so old files load as the named legacy
+    workload with no migration.  Results from any newly registered
+    workload round-trip the same way.
+    """
+    from repro.workload import get_workload
+
+    return get_workload(name).space()
 
 
 def arch_to_dict(arch: NetworkArch) -> Dict:

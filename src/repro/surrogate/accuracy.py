@@ -24,7 +24,7 @@ through the estimator's Cost_HW term and the constraint pass.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,15 +34,6 @@ from repro.arch.encoding import arch_features_from_indices
 
 KERNEL_GAIN = {0: 0.0, 3: 1.0, 5: 1.30, 7: 1.50}
 EXPAND_GAIN = {0: 0.0, 3: 1.0, 6: 1.35}
-
-#: Per-dataset calibration: error floor/spread (%), capacity midpoint
-#: scale, and the affine Loss_NAS map.
-_CALIBRATION = {
-    "cifar10": dict(err_floor=3.8, err_spread=4.5, cap_frac=0.55, cap_scale=0.18,
-                    loss_scale=0.145, loss_bias=0.03, noise_std=0.10),
-    "imagenet": dict(err_floor=23.8, err_spread=10.0, cap_frac=0.55, cap_scale=0.18,
-                     loss_scale=0.080, loss_bias=0.00, noise_std=0.15),
-}
 
 
 class AccuracySurrogate:
@@ -54,14 +45,25 @@ class AccuracySurrogate:
         seed: int = 0,
         landscape_jitter: float = 0.0,
         jitter_seed: int = 0,
+        calibration: Optional[Mapping[str, float]] = None,
     ) -> None:
         """``seed`` fixes the canonical task; ``landscape_jitter`` adds a
         per-search perturbation of the score table, emulating how each
         real search run sees a slightly different empirical loss
-        landscape (init, minibatch order, augmentation)."""
+        landscape (init, minibatch order, augmentation).
+
+        The error/loss calibration comes from the workload registry
+        (:mod:`repro.workload`), keyed by the space's name — an
+        unregistered name is a loud error, not a silent CIFAR-10
+        fallback.  Pass ``calibration`` explicitly to build a surrogate
+        over an unregistered space (ad-hoc experiments, tests).
+        """
         self.space = space
-        key = "imagenet" if "imagenet" in space.name else "cifar10"
-        self.calibration = _CALIBRATION[key]
+        if calibration is None:
+            from repro.workload import workload_calibration
+
+            calibration = workload_calibration(space.name)
+        self.calibration = calibration
         rng = np.random.default_rng(seed)
         # Heterogeneous layer importance: some layers matter more.
         layer_weight = rng.uniform(0.5, 1.5, size=space.num_layers)

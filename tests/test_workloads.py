@@ -1,0 +1,524 @@
+"""Tests for the workload layer (``repro/workload.py``).
+
+Covers the five workload contracts:
+
+* the **registry** round-trips (register/get/unregister), validates
+  its entries, and fails unregistered lookups with an error naming the
+  registry — never a silent CIFAR-10 fallback;
+* the two **legacy workloads** reproduce the seed bitwise: golden run
+  keys, cost normalization quotients, surrogate calibration constants,
+  estimator cache filenames, and a pinned search;
+* the **fleet/scheduler** treat the workload as structure (only
+  same-workload runs batch; a workload/space mismatch is refused up
+  front);
+* the **new workloads** are searchable end to end and their results
+  serialize/deserialize through the registry;
+* the **campaign driver** validates its grid, executes through the run
+  store, and dedupes an unchanged re-run to zero executed searches.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch import NetworkArch, SearchSpace, cifar100_space, speech_space
+from repro.arch.space import cifar_space
+from repro.core import ConstraintSet, CoExplorer, SearchConfig, run_many
+from repro.core.coexplore import resolve_workload
+from repro.core.fleet import _structure_key
+from repro.baselines import dance_config, hdx_config
+from repro.estimator import pretrain_estimator
+from repro.experiments.campaign import (
+    build_scenarios,
+    plan_campaign,
+    render_campaign,
+    render_plan,
+    run_campaign,
+)
+from repro.experiments.common import _cache_path, get_estimator, get_space
+from repro.runtime import dispatch_many, run_key, runtime_context
+from repro.serialize import result_from_dict, result_to_dict, space_by_name
+from repro.surrogate import AccuracySurrogate
+from repro.workload import (
+    Workload,
+    as_workload,
+    available_workloads,
+    cost_normalization,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_calibration,
+)
+
+FP = "f" * 16
+
+#: The seed's surrogate calibration constants, pinned verbatim — the
+#: registry entries must carry exactly these values or the legacy
+#: workloads stop reproducing bitwise.
+LEGACY_CALIBRATION = {
+    "cifar10": dict(err_floor=3.8, err_spread=4.5, cap_frac=0.55, cap_scale=0.18,
+                    loss_scale=0.145, loss_bias=0.03, noise_std=0.10),
+    "imagenet": dict(err_floor=23.8, err_spread=10.0, cap_frac=0.55, cap_scale=0.18,
+                     loss_scale=0.080, loss_bias=0.00, noise_std=0.15),
+}
+
+
+def _tiny_workload(name: str = "wl-test") -> Workload:
+    def factory() -> SearchSpace:
+        return SearchSpace(
+            name=name,
+            input_size=16,
+            train_input_size=8,
+            num_classes=4,
+            stem_channels=16,
+            train_stem_channels=4,
+            stage_plan=[(16, 4, 2, 1), (32, 6, 1, 2)],
+        )
+
+    return Workload(
+        name=name,
+        space_factory=factory,
+        typical_cost=1.0,
+        calibration=dict(LEGACY_CALIBRATION["cifar10"]),
+        constraint_presets={"default": {"latency": 5.0}},
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_workloads() == ["cifar10", "cifar100", "imagenet", "speech"]
+
+    def test_unknown_lookup_names_registry(self):
+        with pytest.raises(ValueError, match="unregistered workload") as err:
+            get_workload("mnist")
+        assert "register_workload" in str(err.value)
+        assert "cifar10" in str(err.value)
+
+    def test_register_get_unregister_roundtrip(self):
+        workload = _tiny_workload()
+        try:
+            register_workload(workload)
+            assert get_workload("wl-test") is workload
+            assert "wl-test" in available_workloads()
+            with pytest.raises(ValueError, match="already registered"):
+                register_workload(_tiny_workload())
+            register_workload(_tiny_workload(), replace=True)
+        finally:
+            unregister_workload("wl-test")
+        assert "wl-test" not in available_workloads()
+
+    def test_replace_serves_replacement_space(self):
+        first = _tiny_workload()
+        try:
+            register_workload(first)
+            original_space = get_workload("wl-test").space()
+            replacement = _tiny_workload()
+            register_workload(replacement, replace=True)
+            replaced_space = get_workload("wl-test").space()
+            # The name-keyed lookup must reach the *replacement's* own
+            # memoized space, never the evicted instance's.
+            assert replaced_space is not original_space
+            assert replaced_space is replacement.space()
+            # Same-named instances never alias each other's spaces.
+            assert first.space() is original_space
+        finally:
+            unregister_workload("wl-test")
+
+    def test_as_workload_resolutions(self):
+        assert as_workload(None).name == "cifar10"
+        assert as_workload("speech").name == "speech"
+        assert as_workload(get_workload("imagenet")).name == "imagenet"
+        assert as_workload(get_space("cifar100")).name == "cifar100"
+
+    def test_space_memoized_and_shared_with_get_space(self):
+        workload = get_workload("cifar10")
+        assert workload.space() is workload.space()
+        assert get_space("cifar10") is workload.space()
+        assert space_by_name("cifar10") is workload.space()
+
+    def test_space_factory_name_mismatch_raises(self):
+        bad = Workload(
+            name="wl-misnamed",
+            space_factory=cifar_space,  # produces a space named "cifar10"
+            typical_cost=1.0,
+            calibration=dict(LEGACY_CALIBRATION["cifar10"]),
+            constraint_presets={"default": {"latency": 5.0}},
+        )
+        with pytest.raises(ValueError, match="names must match"):
+            bad.space()
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError, match="typical_cost"):
+            dataclasses.replace(_tiny_workload(), typical_cost=0.0)
+        with pytest.raises(ValueError, match="calibration missing"):
+            dataclasses.replace(_tiny_workload(), calibration={"err_floor": 1.0})
+        with pytest.raises(ValueError, match="'default' constraint preset"):
+            dataclasses.replace(_tiny_workload(), constraint_presets={})
+
+    def test_constraint_presets(self):
+        workload = get_workload("cifar10")
+        preset = workload.constraint_preset()
+        assert isinstance(preset, ConstraintSet)
+        assert [(c.metric, c.bound) for c in preset] == [("latency", 33.3)]
+        with pytest.raises(ValueError, match="no constraint preset"):
+            workload.constraint_preset("nonsense")
+
+
+# ----------------------------------------------------------------------
+# Legacy bitwise parity
+# ----------------------------------------------------------------------
+class TestLegacyParity:
+    def test_golden_run_key_unchanged(self):
+        # Identical literal to tests/test_runtime.py: the workload layer
+        # must not move a single byte of the legacy key payload.
+        assert (
+            run_key(SearchConfig(), space="cifar10", estimator_fingerprint=FP)
+            == "19dca7f2468fd47433c926f0d33c11d8d23a407774b57b896a920a060882dc39"
+        )
+
+    def test_explicit_workload_normalizes_to_derived_key(self):
+        derived = run_key(SearchConfig(), space="cifar10", estimator_fingerprint=FP)
+        explicit = run_key(
+            SearchConfig(workload="cifar10"), space="cifar10",
+            estimator_fingerprint=FP,
+        )
+        assert explicit == derived
+        foreign = run_key(
+            SearchConfig(workload="speech"), space="cifar10",
+            estimator_fingerprint=FP,
+        )
+        assert foreign != derived
+
+    def test_cost_normalization_quotients(self):
+        # Exactly the old TYPICAL_COST arithmetic: 8.0/8.0 and 8.0/30.0.
+        assert cost_normalization("cifar10") == 1.0
+        assert cost_normalization("imagenet") == 8.0 / 30.0
+        with pytest.raises(ValueError, match="unregistered workload"):
+            cost_normalization("unregistered-space")
+
+    def test_calibration_constants_pinned(self):
+        for name, expected in LEGACY_CALIBRATION.items():
+            assert dict(workload_calibration(name)) == expected
+
+    def test_estimator_cache_filenames_unchanged(self):
+        assert _cache_path("cifar10").endswith("estimator_cifar10.npz")
+        assert _cache_path("imagenet").endswith("estimator_imagenet.npz")
+        assert _cache_path("cifar10", "edge", 0).endswith(
+            "estimator_cifar10_edge_s0.npz"
+        )
+        # New workloads slot into the same scheme, no collisions.
+        assert _cache_path("speech").endswith("estimator_speech.npz")
+
+    def test_surrogate_rejects_unregistered_space(self):
+        space = SearchSpace(
+            name="not-a-workload", input_size=16, train_input_size=8,
+            num_classes=4, stem_channels=16, train_stem_channels=4,
+            stage_plan=[(16, 4, 2, 1)],
+        )
+        with pytest.raises(ValueError, match="unregistered workload"):
+            AccuracySurrogate(space)
+        # Explicit calibration is the escape hatch for ad-hoc spaces.
+        surrogate = AccuracySurrogate(
+            space, calibration=LEGACY_CALIBRATION["cifar10"]
+        )
+        arch = NetworkArch.random(space, np.random.default_rng(0))
+        assert surrogate.error_of(arch) > 0
+
+    def test_legacy_datasets_reproduce_bitwise(self):
+        from repro.data import cifar10_like, imagenet_like
+
+        legacy = cifar10_like(n_samples=40)
+        via_workload = get_workload("cifar10").dataset(n_samples=40)
+        assert np.array_equal(legacy.images, via_workload.images)
+        assert np.array_equal(legacy.labels, via_workload.labels)
+        legacy = imagenet_like(n_samples=40)
+        via_workload = get_workload("imagenet").dataset(n_samples=40)
+        assert np.array_equal(legacy.images, via_workload.images)
+        assert np.array_equal(legacy.labels, via_workload.labels)
+
+    def test_pinned_search_matches_explicit_legacy_setup(self):
+        """One small search through the registry-resolved surrogate must
+        equal the same search with the legacy constants wired by hand
+        (the pre-workload-layer construction)."""
+        space = get_space("cifar10")
+        estimator = get_estimator("cifar10")
+        config = hdx_config(
+            ConstraintSet.latency(33.3), lambda_cost=0.002, seed=3, epochs=8
+        )
+        via_registry = CoExplorer(space, estimator, config).search()
+        legacy_surrogate = AccuracySurrogate(
+            space, seed=0, calibration=LEGACY_CALIBRATION["cifar10"]
+        )
+        by_hand = CoExplorer(
+            space, estimator, config, surrogate=legacy_surrogate
+        ).search()
+        assert via_registry.arch == by_hand.arch
+        assert via_registry.config == by_hand.config
+        assert via_registry.metrics == by_hand.metrics
+        assert via_registry.error_percent == by_hand.error_percent
+        assert via_registry.history == by_hand.history
+
+
+# ----------------------------------------------------------------------
+# Fleet batching / scheduler validation
+# ----------------------------------------------------------------------
+class TestWorkloadStructure:
+    def test_structure_key_separates_workloads(self):
+        a = dance_config(seed=0, epochs=4, workload="cifar10")
+        b = dance_config(seed=1, epochs=4, workload="speech")
+        c = dance_config(seed=2, epochs=4)  # derived
+        assert _structure_key(a) != _structure_key(b)
+        assert _structure_key(a) != _structure_key(c)
+        assert _structure_key(c) == _structure_key(dance_config(seed=9, epochs=4))
+
+    def test_resolve_workload_mismatch_raises(self):
+        space = get_space("cifar10")
+        with pytest.raises(ValueError, match="workload 'speech'"):
+            resolve_workload(space, dance_config(epochs=4, workload="speech"))
+
+    def test_scheduler_refuses_mismatched_manifest(self):
+        space = get_space("cifar10")
+        with pytest.raises(ValueError, match="workload 'speech'"):
+            dispatch_many(space, [dance_config(epochs=4, workload="speech")])
+
+    def test_explicit_workload_bitwise_equals_derived(self):
+        space = get_space("cifar10")
+        estimator = get_estimator("cifar10")
+        (explicit,) = run_many(
+            space, estimator,
+            [dance_config(lambda_cost=0.003, seed=0, epochs=8, workload="cifar10")],
+        )
+        (derived,) = run_many(
+            space, estimator, [dance_config(lambda_cost=0.003, seed=0, epochs=8)]
+        )
+        assert explicit.arch == derived.arch
+        assert explicit.metrics == derived.metrics
+        assert explicit.history == derived.history
+
+
+# ----------------------------------------------------------------------
+# New workloads, end to end
+# ----------------------------------------------------------------------
+class TestNewWorkloads:
+    def test_new_space_layouts(self):
+        cifar100 = cifar100_space()
+        assert (cifar100.num_layers, cifar100.num_classes) == (20, 100)
+        speech = speech_space()
+        assert (speech.num_layers, speech.num_classes) == (12, 12)
+        assert speech.input_size == 24
+        # The layouts must actually differ from the legacy spaces.
+        legacy = cifar_space()
+        assert cifar100.candidate_counts() != legacy.candidate_counts()
+        assert speech.num_layers != legacy.num_layers
+
+    def test_new_workload_datasets(self):
+        for name in ("cifar100", "speech"):
+            workload = get_workload(name)
+            data = workload.dataset(n_samples=30)
+            space = workload.space()
+            assert data.num_classes == space.num_classes
+            assert data.image_shape == (3, space.train_input_size,
+                                        space.train_input_size)
+            assert data.name == f"{name}-like"
+
+    @pytest.mark.parametrize(
+        "name,platform", [("cifar100", "eyeriss"), ("speech", "edge")]
+    )
+    def test_search_and_serialize_end_to_end(self, name, platform):
+        workload = get_workload(name)
+        space = workload.space()
+        estimator = pretrain_estimator(
+            space, n_samples=400, epochs=10, seed=0, platform=platform
+        )
+        constraints = workload.constraint_preset("default")
+        (result,) = run_many(
+            space, estimator,
+            [hdx_config(constraints, seed=0, epochs=6, platform=platform,
+                        workload=name)],
+        )
+        assert result.arch.space.name == name
+        assert result.platform == platform
+        assert result.metrics.latency_ms > 0
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.arch == result.arch
+        assert restored.config == result.config
+        assert restored.metrics == result.metrics
+        assert restored.history == result.history
+
+
+# ----------------------------------------------------------------------
+# Method metadata (single source: baselines.methods.METHODS)
+# ----------------------------------------------------------------------
+class TestMethodMetadata:
+    def test_single_source_and_cli_spellings(self):
+        from repro.baselines import GPU_HOURS_PER_SEARCH, METHODS, method_info
+
+        # The legacy dict is a derived view, never a second copy.
+        assert GPU_HOURS_PER_SEARCH == {
+            name: info.gpu_hours_per_search for name, info in METHODS.items()
+        }
+        assert method_info("hdx") is method_info("HDX")
+        assert method_info("dance-soft").name == "DANCE+Soft"
+        assert method_info("NAS->HW").needs_hw_phase
+        with pytest.raises(ValueError, match="unknown method"):
+            method_info("sgd")
+
+    def test_meta_search_gpu_hours_accept_cli_spelling(self):
+        from repro.baselines import MetaSearch
+        from repro.baselines.meta_search import _TunerState
+
+        def fake(metrics_latency):
+            from repro.accelerator import HardwareMetrics
+            from repro.core.result import SearchResult
+
+            return SearchResult(
+                arch=None, config=None,
+                metrics=HardwareMetrics(metrics_latency, 1.0, 1.0),
+                error_percent=5.0, loss_nas=0.6, cost=1.0,
+                constraints=ConstraintSet(), in_constraint=True,
+                history=[], method="hdx", platform="eyeriss",
+            )
+
+        meta = MetaSearch("hdx", None, "latency", 10.0, 0.1)
+        state = _TunerState(meta, seed=0)
+        state.observe(fake(8.0))  # in the acceptance band -> done
+        outcome = state.result()
+        assert outcome.gpu_hours == outcome.n_searches * 2.00  # HDX, not 1.85
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+class TestCampaign:
+    def test_build_scenarios_grid(self):
+        scenarios = build_scenarios(
+            ["cifar10", "speech"], ["eyeriss", "edge"],
+            methods=("hdx", "dance"), seeds=2, epochs=4,
+        )
+        assert len(scenarios) == 2 * 2 * 2 * 2
+        # Workload-major: one dispatch manifest per workload.
+        plan = plan_campaign(scenarios)
+        assert sorted(plan.configs) == ["cifar10", "speech"]
+        assert all(len(v) == 8 for v in plan.configs.values())
+        for index, config in plan.configs["speech"]:
+            assert config.workload == "speech"
+            assert scenarios[index].workload == "speech"
+
+    def test_plan_validates_up_front(self):
+        with pytest.raises(ValueError, match="unregistered workload"):
+            plan_campaign(build_scenarios(["mnist"], ["eyeriss"], epochs=4))
+        with pytest.raises(ValueError, match="unknown platform"):
+            plan_campaign(build_scenarios(["cifar10"], ["gpu"], epochs=4))
+        with pytest.raises(ValueError, match="unknown method"):
+            plan_campaign(
+                build_scenarios(["cifar10"], ["eyeriss"], methods=("sgd",),
+                                epochs=4)
+            )
+        with pytest.raises(ValueError, match="no constraint preset"):
+            plan_campaign(
+                build_scenarios(["cifar10"], ["eyeriss"], presets=("nope",),
+                                epochs=4)
+            )
+
+    def test_dry_run_renders_without_executing(self):
+        scenarios = build_scenarios(["cifar10", "speech"], ["eyeriss"], epochs=4)
+        text = render_plan(scenarios)
+        assert "2 scenario(s)" in text
+        assert "dry run: nothing executed" in text
+        assert "speech" in text
+
+    def test_campaign_store_dedupe(self, tmp_path):
+        """Acceptance: a >=2-workload x >=2-platform campaign re-run is
+        served entirely from the run store (0 searches executed)."""
+        from repro.runtime import aggregate_report
+
+        scenarios = build_scenarios(
+            ["cifar10", "speech"], ["eyeriss", "edge"],
+            methods=("dance",), seeds=1, epochs=6,
+        )
+        with runtime_context(store=str(tmp_path / "runs")):
+            first = run_campaign(scenarios)
+            total = aggregate_report()
+            assert total.requested == len(scenarios)
+            assert total.executed == len(scenarios)
+        # The repeat re-dispatches per workload; summed over its
+        # reports it must be all hits, zero executed.
+        with runtime_context(store=str(tmp_path / "runs")):
+            repeat = run_campaign(scenarios)
+            total = aggregate_report()
+        assert total.requested == len(scenarios)
+        assert total.executed == 0
+        assert total.store_hits == len(scenarios)
+        for a, b in zip(first, repeat):
+            assert a.result.arch == b.result.arch
+            assert a.result.metrics == b.result.metrics
+        text = render_campaign(first)
+        assert "Cross-scenario summary" in text
+        assert "Per-method roll-up" in text
+        assert "GPU-hours" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestWorkloadCLI:
+    def test_workloads_ls(self, capsys):
+        from repro.cli import main
+
+        assert main(["workloads", "ls"]) == 0
+        out = capsys.readouterr().out
+        for name in available_workloads():
+            assert f"{name}:" in out
+        assert "presets" in out and "surrogate" in out
+        assert "4 workload(s) registered" in out
+
+    def test_campaign_dry_run(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "campaign", "--workloads", "cifar10,speech",
+            "--platforms", "eyeriss,edge", "--methods", "hdx,dance",
+            "--epochs", "4", "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 scenario(s)" in out and "nothing executed" in out
+
+    def test_campaign_rejects_unknown_names(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["campaign", "--workloads", "mnist", "--dry-run"])
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["campaign", "--methods", "sgd", "--dry-run"])
+        with pytest.raises(SystemExit, match="no methods given"):
+            main(["campaign", "--methods", "", "--dry-run"])
+        with pytest.raises(SystemExit, match="lacks constraint preset"):
+            main(["campaign", "--presets", "nonsense", "--dry-run"])
+
+    def test_search_workload_flag_and_space_alias(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = str(tmp_path / "result.json")
+        code = main([
+            "search", "--workload", "speech", "--method", "dance",
+            "--epochs", "6", "--seed", "0", "--output", out_path,
+        ])
+        assert code == 0
+        assert main(["evaluate", "--result", out_path]) == 0
+        assert main(["evaluate", "--result", out_path,
+                     "--workload", "speech"]) == 0
+        assert main(["evaluate", "--result", out_path,
+                     "--workload", "cifar10"]) == 2
+        err = capsys.readouterr().err
+        assert "belongs to workload 'speech'" in err
+        # The legacy spelling keeps working.
+        code = main([
+            "search", "--space", "cifar10", "--method", "dance",
+            "--epochs", "6", "--seed", "0",
+        ])
+        assert code == 0
